@@ -1,0 +1,120 @@
+"""Ablation A5 — the lock predictor (paper §3.4).
+
+Measures (a) that prediction converges and is effectively perfect for
+lock-implementing LL/SC (the paper: "the benchmarks always used LL/SC to
+implement locks and so we had perfect behavior"), (b) that Fetch&Phi PCs
+are *not* classified as locks, and (c) the pathological case: a PC whose
+"critical sections" outlive the bound gets its entry disabled by the
+accuracy counter.
+"""
+
+from conftest import once, publish
+
+from repro import System, SystemConfig
+from repro.cpu.ops import Compute, Read, Write
+from repro.harness.tables import render_table
+from repro.sync import TTSLock, fetch_and_add
+from repro.sync.primitives import synthetic_pc
+
+
+def mixed_run(n_processors: int = 8, iterations: int = 20):
+    """Locks + Fetch&Inc mixed; returns predictor verdicts + stats."""
+    system = System(SystemConfig(n_processors=n_processors, policy="iqolb"))
+    lock = TTSLock(system.layout.alloc_line())
+    counter = system.layout.alloc_line()
+    shared = system.layout.alloc_line()
+
+    def worker():
+        for _ in range(iterations):
+            yield from lock.acquire()
+            value = yield Read(shared)
+            yield Compute(25)
+            yield Write(shared, value + 1)
+            yield from lock.release()
+            yield from fetch_and_add(counter, 1, pc_label="abl.count")
+            yield Compute(70)
+
+    for node in range(n_processors):
+        system.load_program(node, worker())
+    system.run()
+    count_pc = synthetic_pc("abl.count")
+    lock_votes = sum(
+        1
+        for c in system.controllers
+        if c.policy.predictor.predict_lock(lock.pc_acquire)
+    )
+    fetchinc_votes = sum(
+        1
+        for c in system.controllers
+        if c.policy.predictor.predict_lock(count_pc)
+    )
+    return {
+        "n": n_processors,
+        "lock_votes": lock_votes,
+        "fetchinc_votes": fetchinc_votes,
+        "tearoffs": system.total("tearoffs_sent"),
+        "release_handoffs": system.total("handoff_release"),
+        "sc_handoffs": system.total("handoff_sc"),
+        "counter": system.read_word(counter),
+        "protected": system.read_word(shared),
+        "expected": n_processors * iterations,
+    }
+
+
+def pathological_run(n_processors: int = 4, iterations: int = 24):
+    """Critical sections far longer than the bound: entries disable."""
+    system = System(
+        SystemConfig(n_processors=n_processors, policy="iqolb", timeout_cycles=300)
+    )
+    lock = TTSLock(system.layout.alloc_line())
+
+    def worker():
+        for _ in range(iterations):
+            yield from lock.acquire()
+            yield Compute(2_000)  # dwarfs the 300-cycle bound
+            yield from lock.release()
+            yield Compute(50)
+
+    for node in range(n_processors):
+        system.load_program(node, worker())
+    system.run()
+    disabled = sum(
+        c.policy.predictor.stats()["disabled"] for c in system.controllers
+    )
+    return {
+        "timeouts": system.total("timeouts"),
+        "disabled_entries": disabled,
+    }
+
+
+def run_all():
+    return mixed_run(), pathological_run()
+
+
+def test_predictor_ablation(benchmark):
+    mixed, pathological = once(benchmark, run_all)
+    publish(
+        "ablation_predictor",
+        render_table(
+            ["metric", "value"],
+            list(mixed.items()) + list(pathological.items()),
+            title="A5: lock predictor behaviour",
+        ),
+    )
+
+    # Correctness of the mixed run.
+    assert mixed["counter"] == mixed["expected"]
+    assert mixed["protected"] == mixed["expected"]
+    # Perfect classification: every node that voted, voted right.
+    assert mixed["lock_votes"] == mixed["n"]
+    assert mixed["fetchinc_votes"] == 0
+    # Locks produce tear-offs + release hand-offs; Fetch&Inc produces
+    # SC-time hand-offs.
+    assert mixed["tearoffs"] > 0
+    assert mixed["release_handoffs"] > 0
+    assert mixed["sc_handoffs"] > 0
+
+    # Pathological case: timeouts fire and the accuracy counter turns
+    # entries off (paper §3.4).
+    assert pathological["timeouts"] > 0
+    assert pathological["disabled_entries"] > 0

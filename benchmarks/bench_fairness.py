@@ -1,0 +1,52 @@
+"""Ablation A8 — fairness (paper §3.2/§3.3).
+
+The distributed queue grants the lock "in precisely the order in which
+the original requests occurred" (§3.2); raw TTS spinning has no order at
+all; and retention is said to come "at the expense of fairness".  This
+bench measures waiting-time dispersion, FIFO inversions and Jain's
+index for each primitive on one contended lock.
+"""
+
+from conftest import once, publish
+
+from repro.harness.fairness import measure_lock_fairness
+from repro.harness.tables import render_table
+
+PRIMS = ["tts", "ticket", "mcs", "delayed", "iqolb", "iqolb+retention", "qolb"]
+
+
+def measure():
+    return {prim: measure_lock_fairness(prim) for prim in PRIMS}
+
+
+def test_fairness(benchmark):
+    reports = once(benchmark, measure)
+    publish(
+        "fairness",
+        render_table(
+            ["primitive", "acquires", "mean wait", "max wait",
+             "wait CV", "FIFO inversions", "Jain idx"],
+            [r.row() for r in reports.values()],
+            title="A8: lock fairness (8 processors, one contended lock)",
+        ),
+    )
+
+    tts = reports["tts"]
+    iqolb = reports["iqolb"]
+    qolb = reports["qolb"]
+    ticket = reports["ticket"]
+
+    # The explicitly FIFO primitives barely invert (ties at identical
+    # arrival cycles can count as inversions, so allow a small slack).
+    assert ticket.fifo_inversions <= tts.fifo_inversions
+    assert iqolb.fifo_inversions < tts.fifo_inversions
+    assert qolb.fifo_inversions < tts.fifo_inversions
+
+    # Queue hand-off keeps waits tight: lower dispersion and far lower
+    # worst-case than TTS's free-for-all.
+    assert iqolb.max_wait < tts.max_wait
+    assert iqolb.wait_cv < tts.wait_cv
+
+    # Per-thread fairness (Jain index, 1.0 = perfectly fair).
+    assert iqolb.jain_index > tts.jain_index
+    assert iqolb.jain_index > 0.9

@@ -1,0 +1,38 @@
+"""Figure 2 — the traditional LL/SC sequence.
+
+Replays the figure's scenario (two processors, shared copies, racing
+upgrades) and asserts its structure: shared read responses, exclusive
+requests, and an invalidate that forces the loser to retry.
+"""
+
+from conftest import once, publish
+
+from repro.harness.traces import figure2_scenario
+
+
+def test_fig2_baseline_sequence(benchmark):
+    result = once(benchmark, figure2_scenario, 4)
+    publish(
+        "fig2_trace",
+        result.render(limit=60) + "\n\nsummary: " + repr(result.summary),
+    )
+    s = result.summary
+
+    # Atomicity held: every increment landed.
+    assert s["final_value"] == s["expected"]
+    # Two network transactions per contended RMW: reads for the shared
+    # copies plus an upgrade per successful SC.
+    assert s["bus_upgrades"] >= s["expected"] - 1
+    assert s["bus_gets"] >= 2
+    # The invalidate -> force retry of the figure: SCs failed.
+    assert s["sc_failures"] > 0
+    # The baseline never defers anything.
+    assert s["deferrals"] == 0
+
+    # The recorded stream shows a failed SC after a successful one (the
+    # forced retry) on the contended line.
+    outcomes = [
+        e.info.get("success")
+        for e in result.recorder.filtered(result.target_line, kinds=["sc"])
+    ]
+    assert False in outcomes and True in outcomes

@@ -1,0 +1,38 @@
+"""Figure 3 — the delayed-response LL/SC sequence.
+
+Replays the figure (three processors issuing concurrent LPRFOs) and
+asserts its structure: a queue forms, exclusive responses are delayed
+until the holder's SC completes, and — unlike Figure 2 — no processor
+ever retries its LL/SC sequence.
+"""
+
+from conftest import once, publish
+
+from repro.harness.traces import figure3_scenario
+
+
+def test_fig3_delayed_sequence(benchmark):
+    result = once(benchmark, figure3_scenario, 3, 4)
+    publish(
+        "fig3_trace",
+        result.render(limit=80) + "\n\nsummary: " + repr(result.summary),
+    )
+    s = result.summary
+
+    # Atomicity held, and — the figure's point — zero SC retries.
+    assert s["final_value"] == s["expected"]
+    assert s["sc_failures"] == 0
+    # LL misses issue LPRFOs (one per RMW at most: single transaction).
+    assert s["bus_lprfo"] <= s["expected"]
+    # Responses were deferred and the queue drained at SC completions.
+    assert s["deferrals"] > 0
+    assert s["handoffs_at_sc"] > 0
+    assert s["queue_waits"] > 0
+
+    # Delayed exclusive responses: on the contended line, hand-offs (the
+    # delayed responses) strictly follow the owner's SC in the stream.
+    events = result.recorder.filtered(result.target_line)
+    kinds = [e.kind for e in events]
+    assert "handoff" in kinds and "defer" in kinds
+    first_handoff = kinds.index("handoff")
+    assert "sc" in kinds[:first_handoff]

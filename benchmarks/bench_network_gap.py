@@ -1,0 +1,69 @@
+"""Motivation study — the processor/communication performance gap.
+
+The paper's abstract: "the ever increasing performance gap between
+processor and interprocessor communication may further compromise the
+scalability of these primitives."  This bench sweeps the data-network
+latency (the crossbar's per-line transfer cost) and shows that the
+baseline's contended-lock cost grows much faster than IQOLB's — i.e.,
+the paper's mechanisms matter *more* as the gap widens.
+"""
+
+from conftest import once, publish
+
+from repro.harness.config import SystemConfig
+from repro.harness.experiment import PRIMITIVES, run_workload
+from repro.harness.tables import render_table
+from repro.workloads.micro import NullCriticalSection
+
+LATENCIES = [20, 40, 80, 160]
+PRIMS = ["tts", "iqolb", "qolb"]
+
+
+def measure(n_processors: int = 16):
+    out = {}
+    for primitive in PRIMS:
+        policy, lock_kind = PRIMITIVES[primitive]
+        per_latency = []
+        for latency in LATENCIES:
+            config = SystemConfig(
+                n_processors=n_processors,
+                policy=policy,
+                xbar_line_cycles=latency,
+            )
+            workload = NullCriticalSection(
+                lock_kind=lock_kind, acquires_per_proc=15, think_cycles=60
+            )
+            result = run_workload(workload, config, primitive=primitive)
+            per_latency.append(result.cycles)
+        out[primitive] = per_latency
+    return out
+
+
+def test_network_gap(benchmark):
+    results = once(benchmark, measure)
+    rows = [
+        [prim] + list(cycles) + [f"{cycles[-1] / cycles[0]:.2f}x"]
+        for prim, cycles in results.items()
+    ]
+    publish(
+        "network_gap",
+        render_table(
+            ["primitive"] + [f"{c}cyc/line" for c in LATENCIES] + ["growth"],
+            rows,
+            title="Sensitivity to the data-network latency (contended lock, 16p)",
+        ),
+    )
+
+    tts, iqolb, qolb = results["tts"], results["iqolb"], results["qolb"]
+    # The queue-based schemes are network-optimal: one line transfer per
+    # hand-off, so their cost tracks the transfer latency (growth close
+    # to the 8x latency sweep, and IQOLB tracks QOLB throughout).
+    for iq, q in zip(iqolb, qolb):
+        assert iq / q < 1.2
+    # TTS pays several transfers (plus invalidation storms) per hand-off:
+    # it is multiples slower at *every* point of the sweep...
+    for t, iq in zip(tts, iqolb):
+        assert t / iq > 3
+    # ...and the absolute cost of its extra traffic widens as the
+    # processor/communication gap grows (the paper's motivation).
+    assert (tts[-1] - iqolb[-1]) > (tts[0] - iqolb[0])

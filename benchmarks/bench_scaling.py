@@ -1,0 +1,61 @@
+"""Ablation A4 — primitive scaling, 2 to 32 processors.
+
+The motivation experiment behind the whole line of work: the cost of one
+lock hand-off as contention grows.  TTS degrades super-linearly
+(invalidation storms); the hardware-queue schemes stay nearly flat (one
+line transfer per hand-off, paper §2).
+"""
+
+from conftest import once, publish
+
+from repro.harness.config import SystemConfig
+from repro.harness.experiment import PRIMITIVES, run_workload
+from repro.harness.tables import render_table
+from repro.workloads.micro import NullCriticalSection
+
+SIZES = [2, 4, 8, 16, 32]
+PRIMS = ["tts", "delayed", "iqolb", "qolb"]
+
+
+def measure():
+    out = {}
+    for primitive in PRIMS:
+        policy, lock_kind = PRIMITIVES[primitive]
+        per_size = []
+        for size in SIZES:
+            config = SystemConfig(n_processors=size, policy=policy)
+            workload = NullCriticalSection(
+                lock_kind=lock_kind, acquires_per_proc=15, think_cycles=60
+            )
+            result = run_workload(workload, config, primitive=primitive)
+            per_size.append(result.cycles / (size * 15))
+        out[primitive] = per_size
+    return out
+
+
+def test_scaling(benchmark):
+    results = once(benchmark, measure)
+    rows = [
+        [prim] + [f"{c:.0f}" for c in cycles]
+        for prim, cycles in results.items()
+    ]
+    publish(
+        "scaling",
+        render_table(
+            ["primitive"] + [f"{s}p" for s in SIZES],
+            rows,
+            title="A4: cycles per lock hand-off vs. machine size",
+        ),
+    )
+
+    tts, iqolb, qolb = results["tts"], results["iqolb"], results["qolb"]
+    # TTS hand-off cost explodes with contention...
+    assert tts[-1] > tts[0] * 4
+    # ...while the queue-based schemes stay nearly flat.
+    assert iqolb[-1] < iqolb[0] * 3
+    assert qolb[-1] < qolb[0] * 3
+    # At 32 processors the gap is the paper's headline: multiple x.
+    assert tts[-1] / iqolb[-1] > 3
+    # IQOLB tracks QOLB at every machine size.
+    for iq, q in zip(iqolb, qolb):
+        assert iq / q < 1.35

@@ -1,0 +1,32 @@
+"""Table 1 — baseline system parameters.
+
+Regenerates the paper's Table 1 from the live :class:`SystemConfig`
+defaults (no hard-coded strings: change a default and the table changes),
+and checks the headline values against the paper.
+"""
+
+from conftest import once, publish
+
+from repro.harness.config import SystemConfig
+from repro.harness.tables import render_table1
+
+
+def test_table1_regenerates(benchmark):
+    config = SystemConfig()
+    text = once(benchmark, render_table1, config)
+    publish("table1", text)
+
+    # The paper's Table 1 values, asserted against the live defaults.
+    assert config.n_processors == 32
+    assert config.line_bytes == 64
+    assert config.l1_size_bytes == 64 * 1024 and config.l1_assoc == 2
+    assert config.l1_hit_cycles == 1
+    assert config.l2_size_bytes == 512 * 1024 and config.l2_assoc == 4
+    assert config.l2_hit_cycles == 6
+    assert config.bus_addr_latency == 12
+    assert config.bus_max_outstanding == 117
+    assert config.xbar_line_cycles == 40
+    assert config.mem_first_chunk_cycles == 40
+    assert config.mem_next_chunk_cycles == 4
+    assert "sequential consistency" in text
+    assert "512-KB" in text and "64-KB" in text

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one table or figure of the paper (see DESIGN.md's
+experiment index).  Simulated runs are deterministic and expensive, so
+every bench executes exactly once per session (``once``) and both prints
+its artefact and writes it under ``results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: The paper's Table 3 (TTS absolute, QOLB relative, IQOLB relative).
+PAPER_TABLE3 = {
+    "barnes": (7.5, 1.06, 1.06),
+    "ocean": (6.0, 1.54, 1.52),
+    "radiosity": (2.5, 6.37, 6.37),
+    "raytrace": (1.5, 11.01, 10.75),
+    "water-nsq": (18.1, 1.06, 1.06),
+}
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a deterministic, expensive experiment exactly once."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def publish(name: str, text: str) -> None:
+    """Print an artefact and persist it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def paper_table3():
+    return PAPER_TABLE3

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: run one contended lock under every protocol of the paper.
+
+Builds an 8-processor bus-based system, runs the same test&test&set
+program under each protocol policy from the paper's Figure 1 taxonomy
+(plus explicit QOLB), and prints parallel-section cycles, bus
+transactions, and SC failure counts — the headline effect of the paper in
+one table: IQOLB runs *unchanged TTS software* at QOLB-class speed.
+"""
+
+from repro import System, SystemConfig
+from repro.cpu.ops import Compute, Read, Write
+from repro.harness.tables import render_table
+from repro.sync import QolbLock, TTSLock
+
+
+def worker(lock, counter, iterations):
+    """One thread: acquire, bump a shared counter, release, think."""
+    for _ in range(iterations):
+        yield from lock.acquire()
+        value = yield Read(counter)
+        yield Compute(10)
+        yield Write(counter, value + 1)
+        yield from lock.release()
+        yield Compute(120)
+
+
+def run(policy: str, n_processors: int = 8, iterations: int = 25):
+    system = System(SystemConfig(n_processors=n_processors, policy=policy))
+    lock_cls = QolbLock if policy == "qolb" else TTSLock
+    lock = lock_cls(system.layout.alloc_line())
+    counter = system.layout.alloc_line()
+    for node in range(n_processors):
+        system.load_program(node, worker(lock, counter, iterations))
+    cycles = system.run()
+    final = system.read_word(counter)
+    assert final == n_processors * iterations, "mutual exclusion violated!"
+    return cycles, system.bus_transactions(), system.total("sc_fail")
+
+
+def main() -> None:
+    policies = [
+        "baseline",
+        "aggressive",
+        "delayed",
+        "delayed+retention",
+        "iqolb",
+        "iqolb+retention",
+        "qolb",
+    ]
+    rows = []
+    base_cycles = None
+    for policy in policies:
+        cycles, bus_txns, sc_fails = run(policy)
+        if base_cycles is None:
+            base_cycles = cycles
+        rows.append(
+            (policy, cycles, f"{base_cycles / cycles:.2f}x", bus_txns, sc_fails)
+        )
+    print(
+        render_table(
+            ["protocol", "cycles", "speedup", "bus txns", "SC fails"],
+            rows,
+            title="Contended TTS lock, 8 processors, 25 acquires each",
+        )
+    )
+    print(
+        "\nNote: every row except 'qolb' runs the *identical* TTS program —\n"
+        "the speedup comes purely from the protocol-side mechanisms\n"
+        "(speculation and insertion of delays)."
+    )
+
+
+if __name__ == "__main__":
+    main()

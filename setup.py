@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Offline environments without the ``wheel`` package cannot build PEP 660
+editable wheels; this shim lets ``pip install -e . --no-build-isolation``
+(or ``python setup.py develop``) fall back to the classic editable path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the paper's experiments a front door::
+
+    python -m repro table1                # print the simulated system
+    python -m repro table2                # benchmark models
+    python -m repro table3 -p 16 raytrace # (a slice of) Table 3
+    python -m repro figure 4              # sequence diagram of Fig. 2/3/4
+    python -m repro run raytrace --primitive iqolb -p 16
+    python -m repro fairness --primitive tts iqolb qolb
+    python -m repro policies              # list protocol policies
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.registry import policy_names
+from repro.harness.config import SystemConfig
+from repro.harness.diagram import render_sequence_diagram
+from repro.harness.experiment import PRIMITIVES, run_app, table3
+from repro.harness.fairness import measure_lock_fairness
+from repro.harness.tables import (
+    render_table,
+    render_table1,
+    render_table2,
+    render_table2_parameters,
+    render_table3,
+)
+from repro.harness.traces import (
+    figure2_scenario,
+    figure3_scenario,
+    figure4_scenario,
+)
+from repro.workloads.splash import APP_ORDER
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(render_table1(SystemConfig()))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    print(render_table2())
+    print()
+    print(render_table2_parameters())
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    apps = args.apps or APP_ORDER
+    rows = table3(n_processors=args.processors, apps=apps)
+    print(render_table3(rows, n_processors=args.processors))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    scenario = {
+        2: lambda: (figure2_scenario(), 2),
+        3: lambda: (figure3_scenario(), 3),
+        4: lambda: (figure4_scenario(), 3),
+    }[args.number]
+    result, n_processors = scenario()
+    print(
+        render_sequence_diagram(
+            result.recorder, result.target_line, n_processors
+        )
+    )
+    print()
+    for key, value in result.summary.items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.harness.report import render_report
+
+    result = run_app(args.app, args.primitive, args.processors)
+    print(render_report(result))
+    return 0
+
+
+def _cmd_fairness(args: argparse.Namespace) -> int:
+    reports = [
+        measure_lock_fairness(primitive, n_processors=args.processors)
+        for primitive in args.primitive
+    ]
+    print(
+        render_table(
+            ["primitive", "acquires", "mean wait", "max wait",
+             "wait CV", "FIFO inversions", "Jain idx"],
+            [r.row() for r in reports],
+            title=f"Lock fairness, {args.processors} processors",
+        )
+    )
+    return 0
+
+
+def _cmd_policies(args: argparse.Namespace) -> int:
+    print("protocol policies:", ", ".join(policy_names()))
+    print("primitives:", ", ".join(sorted(PRIMITIVES)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IQOLB (HPCA 2000) reproduction: experiments front door",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the simulated system (Table 1)")
+    sub.add_parser("table2", help="print the benchmark models (Table 2)")
+
+    p3 = sub.add_parser("table3", help="reproduce (a slice of) Table 3")
+    p3.add_argument("apps", nargs="*", choices=APP_ORDER + [],
+                    help="benchmarks (default: all five)")
+    p3.add_argument("-p", "--processors", type=int, default=32)
+
+    pf = sub.add_parser("figure", help="render a sequence figure (2, 3 or 4)")
+    pf.add_argument("number", type=int, choices=(2, 3, 4))
+
+    pr = sub.add_parser("run", help="run one benchmark on one primitive")
+    pr.add_argument("app", choices=APP_ORDER)
+    pr.add_argument("--primitive", default="iqolb", choices=sorted(PRIMITIVES))
+    pr.add_argument("-p", "--processors", type=int, default=32)
+
+    pq = sub.add_parser("fairness", help="measure lock fairness")
+    pq.add_argument("--primitive", nargs="+", default=["tts", "iqolb", "qolb"],
+                    choices=sorted(PRIMITIVES))
+    pq.add_argument("-p", "--processors", type=int, default=8)
+
+    sub.add_parser("policies", help="list protocol policies and primitives")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "table1": _cmd_table1,
+        "table2": _cmd_table2,
+        "table3": _cmd_table3,
+        "figure": _cmd_figure,
+        "run": _cmd_run,
+        "fairness": _cmd_fairness,
+        "policies": _cmd_policies,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""MOESI snooping coherence: per-node controllers and MSHRs."""
+
+from repro.coherence.controller import CacheController, Obligation
+from repro.coherence.mshr import Mshr
+
+__all__ = ["CacheController", "Mshr", "Obligation"]

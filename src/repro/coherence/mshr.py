@@ -1,0 +1,81 @@
+"""Miss status holding registers.
+
+One MSHR tracks one outstanding line request.  The interesting life-cycle
+is the queued LPRFO: after a tear-off response completes the CPU's LL, the
+MSHR *stays open* — the node is sitting in the distributed queue waiting
+for real ownership — while the processor spins locally on the tear-off
+copy (paper §3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.cpu.ops import Op
+from repro.interconnect.messages import BusOp, BusTransaction
+
+
+class Mshr:
+    """State of one outstanding miss."""
+
+    __slots__ = (
+        "line_addr",
+        "cpu_op",
+        "pending_op",
+        "done_cb",
+        "txn",
+        "bus_op",
+        "issued",
+        "queued",
+        "tearoff_done",
+        "start_time",
+    )
+
+    def __init__(
+        self,
+        line_addr: int,
+        cpu_op: Optional[Op],
+        done_cb: Optional[Callable[[Any], None]],
+        start_time: int,
+    ) -> None:
+        self.line_addr = line_addr
+        #: the CPU operation currently blocked on this miss (None once the
+        #: CPU has been unblocked, e.g. by a tear-off).
+        self.cpu_op = cpu_op
+        #: the last detached CPU operation (kept so fill completion knows
+        #: what to finish after :meth:`take_waiter`).
+        self.pending_op: Optional[Op] = None
+        self.done_cb = done_cb
+        self.txn: Optional[BusTransaction] = None
+        #: bus operation this miss uses (remembered for squash/reissue)
+        self.bus_op: Optional[BusOp] = None
+        self.issued = False
+        #: True when the bus told us our response is deferred: we hold a
+        #: position in the distributed queue for this line.
+        self.queued = False
+        self.tearoff_done = False
+        self.start_time = start_time
+
+    @property
+    def has_waiter(self) -> bool:
+        """Is a CPU operation still blocked on this miss?"""
+        return self.done_cb is not None
+
+    def take_waiter(self) -> Optional[Callable[[Any], None]]:
+        """Detach and return the CPU callback (caller invokes it)."""
+        cb = self.done_cb
+        self.done_cb = None
+        self.pending_op = self.cpu_op
+        self.cpu_op = None
+        return cb
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = []
+        if self.issued:
+            flags.append("issued")
+        if self.queued:
+            flags.append("queued")
+        if self.tearoff_done:
+            flags.append("tearoff")
+        kind = self.cpu_op.kind if self.cpu_op is not None else "-"
+        return f"<Mshr {self.line_addr:#x} {kind} {' '.join(flags)}>"

@@ -1,0 +1,34 @@
+"""The paper's contribution: protocol policies, prediction, delays.
+
+This package holds the speculative decision layer (paper §3) that sits
+alongside the MOESI protocol in :mod:`repro.coherence`.
+"""
+
+from repro.core.baseline import (
+    AdaptiveBaselinePolicy,
+    AggressiveBaselinePolicy,
+    BaselinePolicy,
+)
+from repro.core.delayed import DelayedResponsePolicy
+from repro.core.iqolb import IqolbPolicy
+from repro.core.policy import SUPPLY_NOW, DeferDecision, ProtocolPolicy
+from repro.core.predictor import HeldLock, HeldLockTable, LockPredictor
+from repro.core.qolb import QolbPolicy
+from repro.core.registry import make_policy, policy_names
+
+__all__ = [
+    "AdaptiveBaselinePolicy",
+    "AggressiveBaselinePolicy",
+    "BaselinePolicy",
+    "DeferDecision",
+    "DelayedResponsePolicy",
+    "HeldLock",
+    "HeldLockTable",
+    "IqolbPolicy",
+    "LockPredictor",
+    "ProtocolPolicy",
+    "QolbPolicy",
+    "SUPPLY_NOW",
+    "make_policy",
+    "policy_names",
+]

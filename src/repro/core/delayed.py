@@ -1,0 +1,65 @@
+"""The delayed-response scheme (paper §3.2).
+
+An LL miss issues a *low-priority* read-for-ownership (LPRFO).  While a
+processor has an LL/SC sequence in flight on a line it owns (its link flag
+covers the line), it defers responses to incoming LPRFOs until its own SC
+completes — bounded by the time-out.  Regular RFOs (plain stores, lock
+releases) are always served promptly; that priority split is exactly what
+the paper introduces to fix lock hand-off latency.
+
+The deferred LPRFOs observed on the broadcast bus form the distributed
+queue; with ``queue_retention=False`` a regular RFO breaks the queue down
+(waiters squash and reissue), with ``queue_retention=True`` the owner
+loans the line out and gets it back after the write.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.policy import SUPPLY_NOW, DeferDecision, ProtocolPolicy
+from repro.cpu.ops import Op
+from repro.interconnect.messages import BusOp, BusTransaction
+from repro.mem.line import CacheLine
+
+#: Deferral bound.  Architectural specs insist on few instructions between
+#: LL and SC, so the SC nearly always completes well before this fires.
+DEFAULT_TIMEOUT = 1_000
+
+
+class DelayedResponsePolicy(ProtocolPolicy):
+    """Aggressive baseline + delayed responses using LPRFO."""
+
+    name = "delayed"
+
+    def __init__(
+        self,
+        timeout_cycles: int = DEFAULT_TIMEOUT,
+        queue_retention: bool = False,
+    ) -> None:
+        super().__init__()
+        self.timeout_cycles: Optional[int] = timeout_cycles
+        self.queue_retention = queue_retention
+        if queue_retention:
+            self.name = "delayed+retention"
+
+    def ll_miss_op(self, op: Op) -> BusOp:
+        return BusOp.LPRFO
+
+    def should_defer(self, txn: BusTransaction, line: CacheLine) -> DeferDecision:
+        ctrl = self.ctrl
+        assert ctrl is not None
+        line_addr = txn.line_addr
+        # Already deferring this line: later requestors chain behind the
+        # existing queue; no extra obligation is created.
+        if line_addr in ctrl.obligations:
+            return DeferDecision(defer=True, tearoff=False)
+        # An LL/SC of our own is in flight on this line: delay the
+        # response until our SC completes (paper §3.2).
+        if ctrl.link_valid and ctrl.amap.line_addr(ctrl.link_addr) == line_addr:
+            return DeferDecision(defer=True, tearoff=False)
+        return SUPPLY_NOW
+
+    def on_sc_success(self, addr: int, pc: int) -> bool:
+        # The read-modify-write is done: forward the queue now.
+        return True

@@ -1,0 +1,56 @@
+"""Policy registry: build protocol policies by name.
+
+Names follow the paper's Figure 1 taxonomy::
+
+    baseline            Conventional LL/SC
+    aggressive          Baseline + RFO on LL
+    delayed             Delayed response (queue breaks down on RFO)
+    delayed+retention   Delayed response with queue retention
+    iqolb               Implicit QOLB (queue breaks down on RFO)
+    iqolb+retention     Implicit QOLB with queue retention
+    iqolb+gen           Generalized implicit QOLB (forwards protected data)
+    adaptive            Conservative hybrid: RFO on first LL after an SC
+    qolb                Explicit QOLB (EnQOLB/DeQOLB instructions)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.core.baseline import (
+    AdaptiveBaselinePolicy,
+    AggressiveBaselinePolicy,
+    BaselinePolicy,
+)
+from repro.core.delayed import DelayedResponsePolicy
+from repro.core.iqolb import IqolbPolicy
+from repro.core.policy import ProtocolPolicy
+from repro.core.qolb import QolbPolicy
+
+_FACTORIES: Dict[str, Callable[..., ProtocolPolicy]] = {
+    "baseline": BaselinePolicy,
+    "aggressive": AggressiveBaselinePolicy,
+    "delayed": lambda **kw: DelayedResponsePolicy(queue_retention=False, **kw),
+    "delayed+retention": lambda **kw: DelayedResponsePolicy(
+        queue_retention=True, **kw
+    ),
+    "iqolb": lambda **kw: IqolbPolicy(queue_retention=False, **kw),
+    "iqolb+retention": lambda **kw: IqolbPolicy(queue_retention=True, **kw),
+    "iqolb+gen": lambda **kw: IqolbPolicy(generalized=True, **kw),
+    "adaptive": AdaptiveBaselinePolicy,
+    "qolb": QolbPolicy,
+}
+
+
+def policy_names() -> List[str]:
+    """All registered policy names, in taxonomy order."""
+    return list(_FACTORIES)
+
+
+def make_policy(name: str, **kwargs: Any) -> ProtocolPolicy:
+    """Instantiate a fresh policy (one instance per controller)."""
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        known = ", ".join(_FACTORIES)
+        raise ValueError(f"unknown policy {name!r}; known: {known}")
+    return factory(**kwargs)

@@ -1,0 +1,43 @@
+"""Simulated software threads.
+
+A :class:`SimThread` wraps a generator program.  The processor drives the
+generator: it sends each yielded operation's result back in, and reports
+completion when the generator is exhausted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.cpu.ops import Op
+
+Program = Generator[Op, Any, None]
+
+
+class SimThread:
+    """One software thread bound to one processor."""
+
+    def __init__(self, thread_id: int, program: Program) -> None:
+        self.thread_id = thread_id
+        self.program = program
+        self.done = False
+        self.start_time: Optional[int] = None
+        self.finish_time: Optional[int] = None
+        self.ops_executed = 0
+
+    def advance(self, result: Any) -> Optional[Op]:
+        """Feed ``result`` to the program; return the next op or None."""
+        try:
+            if self.ops_executed == 0 and result is None:
+                op = next(self.program)
+            else:
+                op = self.program.send(result)
+        except StopIteration:
+            self.done = True
+            return None
+        self.ops_executed += 1
+        return op
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "running"
+        return f"<SimThread {self.thread_id} {state} ops={self.ops_executed}>"

@@ -1,0 +1,17 @@
+"""Discrete-event simulation kernel: clock, events, stats, deterministic RNG."""
+
+from repro.engine.event import Event, EventQueue
+from repro.engine.rng import WorkloadRng
+from repro.engine.simulator import SimulationError, Simulator
+from repro.engine.stats import Counter, Histogram, StatsRegistry
+
+__all__ = [
+    "Counter",
+    "Event",
+    "EventQueue",
+    "Histogram",
+    "SimulationError",
+    "Simulator",
+    "StatsRegistry",
+    "WorkloadRng",
+]

@@ -1,0 +1,122 @@
+"""The discrete-event simulation kernel.
+
+Every hardware component in the simulated multiprocessor (bus, crossbar,
+caches, memory, processors) schedules work on a single shared
+:class:`Simulator`.  Time is measured in processor cycles, matching the
+paper's Table 1 which expresses all latencies in processor cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.engine.event import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent or runaway state."""
+
+
+class Simulator:
+    """Owns the clock and the event queue.
+
+    The kernel is intentionally minimal: components interact only through
+    scheduled callbacks, which keeps the global event order (and therefore
+    the simulated coherence order) fully deterministic.
+    """
+
+    def __init__(self, max_cycles: int = 1_000_000_000) -> None:
+        self.now = 0
+        self.max_cycles = max_cycles
+        self._queue = EventQueue()
+        self._events_fired = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: int,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` ``delay`` cycles from now.
+
+        ``delay`` must be non-negative; zero-delay events fire later in the
+        current cycle, after all previously scheduled events for this cycle.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self._queue.push(self.now + delay, callback, args, priority)
+
+    def schedule_at(
+        self,
+        time: int,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        return self._queue.push(time, callback, args, priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel an event previously returned by ``schedule``."""
+        self._queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[Callable[[], bool]] = None) -> int:
+        """Drain the event queue; return the final simulated time.
+
+        ``until``, when provided, is evaluated after every event and stops
+        the run early once it returns True.  A :class:`SimulationError` is
+        raised if the clock passes ``max_cycles`` — the runaway guard that
+        turns livelock (a real phenomenon for the aggressive-baseline
+        protocol) into a detectable outcome instead of a hang.
+        """
+        self._running = True
+        try:
+            while self._queue:
+                event = self._queue.pop()
+                if event is None:
+                    break
+                if event.time > self.max_cycles:
+                    raise SimulationError(
+                        f"simulation exceeded max_cycles={self.max_cycles} "
+                        f"(possible livelock)"
+                    )
+                self.now = event.time
+                self._events_fired += 1
+                event.callback(*event.args)
+                if until is not None and until():
+                    break
+        finally:
+            self._running = False
+        return self.now
+
+    def step(self) -> bool:
+        """Fire a single event; return False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time > self.max_cycles:
+            raise SimulationError(
+                f"simulation exceeded max_cycles={self.max_cycles}"
+            )
+        self.now = event.time
+        self._events_fired += 1
+        event.callback(*event.args)
+        return True
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

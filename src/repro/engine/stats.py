@@ -1,0 +1,116 @@
+"""Statistics collection for simulation components.
+
+Components register named counters and histograms with a shared
+:class:`StatsRegistry`; the harness reads them out at the end of a run to
+compute the paper's metrics (network transactions, failed SC sequences,
+deferral delays, and so on).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Tuple
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Accumulates samples; reports count/total/mean/min/max.
+
+    Stores only moments, not samples, so it is safe for multi-million-event
+    runs.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: int = 0
+        self.max: int = 0
+
+    def add(self, sample: int) -> None:
+        if self.count == 0:
+            self.min = sample
+            self.max = sample
+        else:
+            if sample < self.min:
+                self.min = sample
+            if sample > self.max:
+                self.max = sample
+        self.count += 1
+        self.total += sample
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class StatsRegistry:
+    """Flat namespace of counters and histograms, keyed by dotted names.
+
+    Names follow ``component.metric`` (e.g. ``bus.transactions``,
+    ``cpu3.sc_failures``) so the harness can aggregate per component or per
+    metric with simple prefix/suffix matching.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(name)
+            self._histograms[name] = histogram
+        return histogram
+
+    def value(self, name: str) -> int:
+        """Return a counter's value, 0 when it was never touched."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def sum_matching(self, suffix: str) -> int:
+        """Sum every counter whose name ends with ``suffix``.
+
+        Used to aggregate per-CPU metrics, e.g. ``sum_matching('.sc_failures')``.
+        """
+        return sum(
+            counter.value
+            for name, counter in self._counters.items()
+            if name.endswith(suffix)
+        )
+
+    def counters(self) -> Iterator[Tuple[str, int]]:
+        for name in sorted(self._counters):
+            yield name, self._counters[name].value
+
+    def histograms(self) -> Iterator[Histogram]:
+        for name in sorted(self._histograms):
+            yield self._histograms[name]
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain dict of all counter values (for reports and tests)."""
+        return {name: counter.value for name, counter in self._counters.items()}

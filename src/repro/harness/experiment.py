@@ -1,0 +1,150 @@
+"""Experiment runner: the paper's evaluation procedures.
+
+The central notion is a *primitive* (paper §4): the combination of a
+synchronization library implementation and the protocol policy it runs
+on.  The paper's three are::
+
+    tts    test&test&set via LL/SC on the conventional protocol
+    qolb   explicit QOLB (EnQOLB/DeQOLB) on the QOLB protocol
+    iqolb  the same TTS binary, unmodified, on the IQOLB protocol
+
+— the punchline being that ``iqolb`` runs *the TTS software* and gets
+QOLB-class performance.  Extra primitives (ticket, mcs, ts, and the
+retention variants) support the ablation benches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.harness.config import SystemConfig
+from repro.harness.system import System
+from repro.workloads.base import Workload
+from repro.workloads.splash import APP_ORDER, make_app
+
+#: primitive name -> (protocol policy, lock kind)
+PRIMITIVES: Dict[str, tuple] = {
+    "tts": ("baseline", "tts"),
+    "qolb": ("qolb", "qolb"),
+    "iqolb": ("iqolb", "tts"),
+    "iqolb+retention": ("iqolb+retention", "tts"),
+    "iqolb+gen": ("iqolb+gen", "tts"),
+    "adaptive": ("adaptive", "tts"),
+    "delayed": ("delayed", "tts"),
+    "delayed+retention": ("delayed+retention", "tts"),
+    "aggressive": ("aggressive", "tts"),
+    "ticket": ("baseline", "ticket"),
+    "mcs": ("baseline", "mcs"),
+    "anderson": ("baseline", "anderson"),
+    "clh": ("baseline", "clh"),
+    "ts": ("baseline", "ts"),
+}
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Outcome of one simulated run."""
+
+    workload: str
+    primitive: str
+    n_processors: int
+    cycles: int
+    bus_transactions: int
+    stats: Dict[str, int]
+
+    def stat(self, suffix: str) -> int:
+        """Sum of all per-node counters ending in ``.suffix``."""
+        return sum(
+            value for name, value in self.stats.items()
+            if name.endswith(f".{suffix}")
+        )
+
+
+def run_workload(
+    workload: Workload,
+    config: SystemConfig,
+    primitive: str = "tts",
+    tracer: Optional[Callable[..., None]] = None,
+    verify: bool = True,
+) -> RunResult:
+    """Build a system, run a workload on a primitive, verify, report."""
+    policy, _lock_kind = PRIMITIVES[primitive]
+    system = System(config.with_(policy=policy), tracer=tracer)
+    workload.build(system)
+    cycles = system.run()
+    if verify:
+        workload.verify(system)
+    return RunResult(
+        workload=workload.name,
+        primitive=primitive,
+        n_processors=config.n_processors,
+        cycles=cycles,
+        bus_transactions=system.bus_transactions(),
+        stats=system.stats.snapshot(),
+    )
+
+
+def run_app(
+    app_name: str,
+    primitive: str,
+    n_processors: int,
+    model_overrides: Optional[dict] = None,
+    config_overrides: Optional[dict] = None,
+) -> RunResult:
+    """Run one synthetic SPLASH-2 model under one primitive."""
+    policy, lock_kind = PRIMITIVES[primitive]
+    app = make_app(app_name, lock_kind=lock_kind, model_overrides=model_overrides)
+    config = SystemConfig(n_processors=n_processors, policy=policy)
+    if config_overrides:
+        config = config.with_(**config_overrides)
+    return run_workload(app, config, primitive=primitive, verify=False)
+
+
+@dataclasses.dataclass
+class Table3Row:
+    """One benchmark's row of the paper's Table 3."""
+
+    benchmark: str
+    tts_absolute_speedup: float
+    qolb_speedup: float
+    iqolb_speedup: float
+    tts_cycles: int
+    qolb_cycles: int
+    iqolb_cycles: int
+    uniprocessor_cycles: int
+
+
+def table3_row(
+    app_name: str,
+    n_processors: int = 32,
+    model_overrides: Optional[dict] = None,
+) -> Table3Row:
+    """Reproduce one row of Table 3.
+
+    Absolute speedup is "the fraction of the running time on a single
+    node divided by the running time on a 32-node system" for TTS; QOLB
+    and IQOLB are reported relative to the TTS base case (paper §5).
+    """
+    uni = run_app(app_name, "tts", 1, model_overrides)
+    tts = run_app(app_name, "tts", n_processors, model_overrides)
+    qolb = run_app(app_name, "qolb", n_processors, model_overrides)
+    iqolb = run_app(app_name, "iqolb", n_processors, model_overrides)
+    return Table3Row(
+        benchmark=app_name,
+        tts_absolute_speedup=uni.cycles / tts.cycles,
+        qolb_speedup=tts.cycles / qolb.cycles,
+        iqolb_speedup=tts.cycles / iqolb.cycles,
+        tts_cycles=tts.cycles,
+        qolb_cycles=qolb.cycles,
+        iqolb_cycles=iqolb.cycles,
+        uniprocessor_cycles=uni.cycles,
+    )
+
+
+def table3(
+    n_processors: int = 32, apps: Optional[List[str]] = None
+) -> List[Table3Row]:
+    """Reproduce the paper's Table 3 (all benchmarks)."""
+    names = apps if apps is not None else APP_ORDER
+    return [table3_row(name, n_processors) for name in names]

@@ -1,0 +1,98 @@
+"""Synchronization-behaviour report for a run.
+
+Turns a :class:`~repro.harness.experiment.RunResult` (or a live
+:class:`~repro.harness.system.System`) into a human-readable breakdown
+of what the protocol did: traffic by transaction type, speculation
+activity (deferrals, tear-offs, hand-offs by cause), failure/retry
+counts, and cache behaviour.  Used by the CLI and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.harness.experiment import RunResult
+from repro.harness.tables import render_table
+
+#: (section, metric label, stat key or per-node suffix, per_node?)
+_LAYOUT: List[Tuple[str, str, str, bool]] = [
+    ("bus traffic", "total transactions", "bus.transactions", False),
+    ("bus traffic", "GetS (read shared)", "bus.GetS", False),
+    ("bus traffic", "GetX (RFO)", "bus.GetX", False),
+    ("bus traffic", "Upgrade", "bus.Upgrade", False),
+    ("bus traffic", "LPRFO (low-priority RFO)", "bus.LPRFO", False),
+    ("bus traffic", "QOLB enqueue", "bus.QolbEnq", False),
+    ("bus traffic", "writebacks", "bus.WB", False),
+    ("bus traffic", "NACK/retries", "bus.retries", False),
+    ("bus traffic", "memory supplies", "bus.memory_supplies", False),
+    ("speculation", "deferrals", "deferrals", True),
+    ("speculation", "tear-offs sent", "tearoffs_sent", True),
+    ("speculation", "hand-offs (total)", "handoffs", True),
+    ("speculation", "  at SC (Fetch&Phi)", "handoff_sc", True),
+    ("speculation", "  at release store (lock)", "handoff_release", True),
+    ("speculation", "  at DeQOLB", "handoff_deqolb", True),
+    ("speculation", "  at timeout", "handoff_timeout", True),
+    ("speculation", "eviction hand-offs", "evict_handoffs", True),
+    ("speculation", "queue breakdowns", "queue_breakdowns", True),
+    ("speculation", "squash+reissue", "squashes", True),
+    ("speculation", "loans / returns", "loans", True),
+    ("speculation", "data pushes (gen. IQOLB)", "pushes_sent", True),
+    ("speculation", "releases recognized", "releases_detected", True),
+    ("LL/SC", "LL executed", "ll_ops", True),
+    ("LL/SC", "SC attempts", "sc_attempts", True),
+    ("LL/SC", "SC failures", "sc_fail", True),
+    ("caches", "L1 hits", "l1_hits", True),
+    ("caches", "L2 hits", "l2_hits", True),
+    ("caches", "misses", "misses", True),
+    ("caches", "L2 evictions", "l2_evictions", True),
+]
+
+
+def report_rows(result: RunResult) -> List[Tuple[str, str, int]]:
+    """(section, label, value) rows, zero rows skipped."""
+    rows = []
+    for section, label, key, per_node in _LAYOUT:
+        value = result.stat(key) if per_node else result.stats.get(key, 0)
+        if value:
+            rows.append((section, label, value))
+    return rows
+
+
+def render_report(result: RunResult) -> str:
+    """A full text report for one run."""
+    header = (
+        f"{result.workload} on {result.primitive}, "
+        f"{result.n_processors} processors: {result.cycles} cycles"
+    )
+    table = render_table(
+        ["section", "metric", "count"],
+        report_rows(result),
+        title=header,
+    )
+    derived = _derived_metrics(result)
+    lines = [table, "", "derived:"]
+    lines.extend(f"  {name}: {value}" for name, value in derived)
+    return "\n".join(lines)
+
+
+def _derived_metrics(result: RunResult) -> List[Tuple[str, str]]:
+    out: List[Tuple[str, str]] = []
+    attempts = result.stat("sc_attempts")
+    if attempts:
+        failure_rate = result.stat("sc_fail") / attempts
+        out.append(("SC failure rate", f"{failure_rate:.1%}"))
+    handoffs = result.stat("handoffs")
+    if handoffs:
+        out.append(
+            ("cycles per hand-off", f"{result.cycles / handoffs:.0f}")
+        )
+    txns = result.bus_transactions
+    if txns:
+        out.append(
+            ("cycles per bus transaction", f"{result.cycles / txns:.0f}")
+        )
+    hits = result.stat("l1_hits") + result.stat("l2_hits")
+    misses = result.stat("misses")
+    if hits + misses:
+        out.append(("cache hit rate", f"{hits / (hits + misses):.1%}"))
+    return out

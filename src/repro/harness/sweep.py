@@ -1,0 +1,114 @@
+"""Parameter-sweep utilities.
+
+A small declarative helper for the grid experiments the benches and
+examples run: sweep one or two axes (machine size, protocol, timeout,
+network latency, ...) over a workload factory and collect
+:class:`~repro.harness.experiment.RunResult` objects into a grid that
+renders straight into a table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.config import SystemConfig
+from repro.harness.experiment import PRIMITIVES, RunResult, run_workload
+from repro.harness.tables import render_table
+from repro.workloads.base import Workload
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """A 2-D grid of run results: rows x columns."""
+
+    row_axis: str
+    col_axis: str
+    rows: List[Any]
+    cols: List[Any]
+    grid: Dict[Tuple[Any, Any], RunResult]
+
+    def cell(self, row: Any, col: Any) -> RunResult:
+        return self.grid[(row, col)]
+
+    def metric_grid(
+        self, metric: Callable[[RunResult], Any]
+    ) -> List[List[Any]]:
+        return [
+            [metric(self.grid[(row, col)]) for col in self.cols]
+            for row in self.rows
+        ]
+
+    def render(
+        self,
+        metric: Callable[[RunResult], Any] = lambda r: r.cycles,
+        title: str = "",
+    ) -> str:
+        headers = [f"{self.row_axis}\\{self.col_axis}"] + [
+            str(col) for col in self.cols
+        ]
+        body = [
+            [str(row)] + [str(metric(self.grid[(row, col)])) for col in self.cols]
+            for row in self.rows
+        ]
+        return render_table(headers, body, title=title)
+
+
+def sweep(
+    workload_factory: Callable[[str], Workload],
+    primitives: Sequence[str],
+    processor_counts: Sequence[int],
+    config_overrides: Optional[dict] = None,
+    verify: bool = True,
+) -> SweepResult:
+    """Sweep primitive x machine size.
+
+    ``workload_factory(lock_kind)`` builds a fresh workload per cell
+    (workloads hold per-run state and cannot be reused).
+    """
+    grid: Dict[Tuple[Any, Any], RunResult] = {}
+    for primitive in primitives:
+        policy, lock_kind = PRIMITIVES[primitive]
+        for n in processor_counts:
+            config = SystemConfig(n_processors=n, policy=policy)
+            if config_overrides:
+                config = config.with_(**config_overrides)
+            workload = workload_factory(lock_kind)
+            grid[(primitive, n)] = run_workload(
+                workload, config, primitive=primitive, verify=verify
+            )
+    return SweepResult(
+        row_axis="primitive",
+        col_axis="procs",
+        rows=list(primitives),
+        cols=list(processor_counts),
+        grid=grid,
+    )
+
+
+def sweep_config(
+    workload_factory: Callable[[str], Workload],
+    primitive: str,
+    axis_name: str,
+    axis_values: Sequence[Any],
+    n_processors: int = 16,
+    verify: bool = True,
+) -> SweepResult:
+    """Sweep one SystemConfig field for a single primitive."""
+    policy, lock_kind = PRIMITIVES[primitive]
+    grid: Dict[Tuple[Any, Any], RunResult] = {}
+    for value in axis_values:
+        config = SystemConfig(
+            n_processors=n_processors, policy=policy, **{axis_name: value}
+        )
+        workload = workload_factory(lock_kind)
+        grid[(primitive, value)] = run_workload(
+            workload, config, primitive=primitive, verify=verify
+        )
+    return SweepResult(
+        row_axis="primitive",
+        col_axis=axis_name,
+        rows=[primitive],
+        cols=list(axis_values),
+        grid=grid,
+    )

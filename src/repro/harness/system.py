@@ -1,0 +1,170 @@
+"""Full-system builder: wires processors, caches, bus, crossbar, memory.
+
+This is the top-level object most users touch::
+
+    from repro import System, SystemConfig
+
+    system = System(SystemConfig(n_processors=8, policy="iqolb"))
+    system.load_program(0, my_program())
+    ...
+    cycles = system.run()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.coherence.controller import CacheController
+from repro.core.registry import make_policy
+from repro.cpu.processor import Processor
+from repro.cpu.thread import Program, SimThread
+from repro.engine.simulator import Simulator
+from repro.engine.stats import StatsRegistry
+from repro.harness.config import SystemConfig
+from repro.harness.layout import MemoryLayout
+from repro.interconnect.bus import AddressBus
+from repro.interconnect.crossbar import Crossbar
+from repro.interconnect.messages import MEMORY_NODE
+from repro.mem.address import AddressMap
+from repro.mem.cache import CacheArray
+from repro.mem.hierarchy import NodeCacheHierarchy
+from repro.mem.mainmemory import MainMemory
+
+
+class System:
+    """A simulated bus-based shared-memory multiprocessor."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        tracer: Optional[Callable[..., None]] = None,
+    ) -> None:
+        self.config = config if config is not None else SystemConfig()
+        cfg = self.config
+        self.sim = Simulator(max_cycles=cfg.max_cycles)
+        self.stats = StatsRegistry()
+        self.amap = AddressMap(cfg.line_bytes)
+        self.memory = MainMemory(
+            self.amap,
+            first_chunk_cycles=cfg.mem_first_chunk_cycles,
+            next_chunk_cycles=cfg.mem_next_chunk_cycles,
+            chunk_bytes=cfg.mem_chunk_bytes,
+        )
+        self.crossbar = Crossbar(
+            self.sim,
+            self.stats,
+            line_transfer_cycles=cfg.xbar_line_cycles,
+            word_transfer_cycles=cfg.xbar_word_cycles,
+        )
+        self.bus = AddressBus(
+            self.sim,
+            self.stats,
+            self.memory,
+            self.crossbar,
+            addr_latency=cfg.bus_addr_latency,
+            issue_interval=cfg.bus_issue_interval,
+            max_outstanding=cfg.bus_max_outstanding,
+        )
+        # Memory "port" on the crossbar: deliveries to MEMORY_NODE would
+        # be writeback data; our writebacks ride the address bus instead,
+        # so this receiver should never fire.
+        self.crossbar.attach(MEMORY_NODE, self._memory_receiver)
+
+        self.controllers: List[CacheController] = []
+        self.processors: List[Processor] = []
+        for node_id in range(cfg.n_processors):
+            l1 = CacheArray.from_size(cfg.l1_size_bytes, cfg.l1_assoc, cfg.line_bytes)
+            l2 = CacheArray.from_size(cfg.l2_size_bytes, cfg.l2_assoc, cfg.line_bytes)
+            hierarchy = NodeCacheHierarchy(
+                node_id, l1, l2, cfg.l1_hit_cycles, cfg.l2_hit_cycles, self.stats
+            )
+            policy = make_policy(cfg.policy, **cfg.policy_kwargs())
+            controller = CacheController(
+                node_id,
+                self.sim,
+                self.stats,
+                self.amap,
+                hierarchy,
+                self.bus,
+                self.crossbar,
+                policy,
+            )
+            controller.tracer = tracer
+            self.bus.attach(node_id, controller)
+            self.crossbar.attach(node_id, controller.on_data)
+            processor = Processor(
+                node_id, self.sim, self.stats, issue_overhead=cfg.issue_overhead
+            )
+            processor.controller = controller
+            processor.on_thread_done = self._thread_done
+            self.controllers.append(controller)
+            self.processors.append(processor)
+
+        self.layout = MemoryLayout(self.amap)
+        self._threads: Dict[int, SimThread] = {}
+        self._remaining = 0
+        self._next_thread_id = 0
+
+    # ------------------------------------------------------------------
+    # Program loading and memory initialisation
+    # ------------------------------------------------------------------
+    def load_program(self, node_id: int, program: Program) -> SimThread:
+        """Bind a generator program to a processor."""
+        if node_id in self._threads:
+            raise ValueError(f"processor {node_id} already has a program")
+        thread = SimThread(self._next_thread_id, program)
+        self._next_thread_id += 1
+        self.processors[node_id].bind(thread)
+        self._threads[node_id] = thread
+        return thread
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Initialise shared memory before the run."""
+        self.memory.write_word(addr, value)
+
+    def read_word(self, addr: int) -> int:
+        """Read memory *coherently* after (or during) a run.
+
+        Checks cache owners first so dirty data is visible.
+        """
+        line_addr = self.amap.line_addr(addr)
+        index = self.amap.word_index(addr)
+        for controller in self.controllers:
+            line = controller.hierarchy.peek(line_addr)
+            if line is not None and line.is_owner:
+                return line.read_word(index)
+        return self.memory.read_word(addr)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Run every loaded program to completion; return elapsed cycles."""
+        if not self._threads:
+            raise RuntimeError("no programs loaded")
+        self._remaining = len(self._threads)
+        for node_id in self._threads:
+            self.processors[node_id].start()
+        self.sim.run(until=lambda: self._remaining == 0)
+        if self._remaining:
+            raise RuntimeError(
+                f"{self._remaining} threads never finished "
+                f"(t={self.sim.now}); deadlock or livelock"
+            )
+        return self.sim.now
+
+    def _thread_done(self, thread: SimThread) -> None:
+        self._remaining -= 1
+
+    def _memory_receiver(self, msg: Any) -> None:  # pragma: no cover
+        raise RuntimeError(f"unexpected crossbar delivery to memory: {msg}")
+
+    # ------------------------------------------------------------------
+    # Metrics helpers
+    # ------------------------------------------------------------------
+    def bus_transactions(self) -> int:
+        return self.stats.value("bus.transactions")
+
+    def total(self, suffix: str) -> int:
+        """Aggregate a per-node counter, e.g. ``total('sc_fail')``."""
+        return self.stats.sum_matching(f".{suffix}")

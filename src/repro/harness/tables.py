@@ -1,0 +1,90 @@
+"""Plain-text table rendering for the paper's tables.
+
+Everything renders from live objects (configs, workload models, run
+results), never from hard-coded strings, so the benches that print these
+tables genuinely *regenerate* them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.harness.config import SystemConfig, table1_rows
+from repro.harness.experiment import Table3Row
+from repro.workloads.splash import APP_MODELS, APP_ORDER
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[str]], title: str = ""
+) -> str:
+    """Fixed-width table with a separator under the header."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_table1(config: Optional[SystemConfig] = None) -> str:
+    """Table 1: baseline system parameters."""
+    return render_table(
+        ["Component", "Item", "Configuration"],
+        table1_rows(config),
+        title="Table 1. Baseline system",
+    )
+
+
+def render_table2() -> str:
+    """Table 2: benchmarks and inputs (the synthetic model analogues)."""
+    rows = []
+    for name in APP_ORDER:
+        model = APP_MODELS[name]
+        rows.append((model.name, model.description, model.input_analogue))
+    return render_table(
+        ["Benchmark", "Type of simulation (model)", "Input analogue"],
+        rows,
+        title="Table 2. Benchmarks",
+    )
+
+
+def render_table2_parameters() -> str:
+    """The synthetic models' full parameterisation (reproduction detail)."""
+    headers = [
+        "Benchmark", "work", "locks", "hot%", "csR", "csW", "csC",
+        "local", "phases", "serial",
+    ]
+    rows = []
+    for name in APP_ORDER:
+        m = APP_MODELS[name]
+        rows.append((
+            m.name, m.total_work, m.n_locks, f"{m.hot_lock_fraction:.2f}",
+            m.cs_reads, m.cs_writes, m.cs_compute, m.local_compute,
+            m.phases, m.serial_compute,
+        ))
+    return render_table(headers, rows, title="Synthetic model parameters")
+
+
+def render_table3(rows: List[Table3Row], n_processors: int = 32) -> str:
+    """Table 3: speedups (TTS absolute in parentheses; rest relative)."""
+    headers = ["Synch. primitive"] + [row.benchmark for row in rows]
+    tts = ["TTS w/ LL/SC"] + [
+        f"({row.tts_absolute_speedup:.1f})" for row in rows
+    ]
+    qolb = ["QOLB"] + [f"{row.qolb_speedup:.2f}" for row in rows]
+    iqolb = ["IQOLB"] + [f"{row.iqolb_speedup:.2f}" for row in rows]
+    return render_table(
+        headers,
+        [tts, qolb, iqolb],
+        title=f"Table 3. Results ({n_processors}-processor system)",
+    )

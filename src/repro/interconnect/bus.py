@@ -1,0 +1,327 @@
+"""Split-transaction broadcast snooping address bus.
+
+Models the Gigaplane-style address bus of the paper's target (Table 1):
+
+* split address/data — the address phase establishes global coherence
+  order; data moves separately on the crossbar;
+* broadcast snooping — every controller observes every transaction, which
+  is what lets the delayed-response/IQOLB protocols build their
+  distributed queue purely from locally observed bus order (paper 3.2);
+* 12-cycle address access latency and a bounded number of outstanding
+  transactions (117 in Table 1).
+
+The *issue order* of transactions is the system's global coherence order.
+
+Per-line blocking: while a (non-deferred) fill for a line is in flight,
+further transactions for that same line wait — this models the
+snoop-hit-on-pending-MSHR retry of real buses, and is what makes
+concurrent misses to one line coherent.  A *deferred* response releases
+the line block immediately: the owner retains the line and keeps
+answering snoops, so subsequent LPRFOs broadcast freely and the
+distributed queue can form (paper 3.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.engine.simulator import Simulator
+from repro.engine.stats import StatsRegistry
+from repro.interconnect.crossbar import Crossbar
+from repro.interconnect.messages import (
+    MEMORY_NODE,
+    BusOp,
+    BusTransaction,
+    DataKind,
+    DataMessage,
+    GrantState,
+    SnoopReply,
+)
+from repro.mem.mainmemory import MainMemory
+
+#: transactions that move a cache line to the requester
+DATA_OPS = frozenset({BusOp.GETS, BusOp.GETX, BusOp.LPRFO, BusOp.QOLB_ENQ})
+
+
+class AddressBus:
+    """Arbitrates, broadcasts, and resolves who supplies data."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stats: StatsRegistry,
+        memory: MainMemory,
+        crossbar: Crossbar,
+        addr_latency: int = 12,
+        issue_interval: int = 2,
+        max_outstanding: int = 117,
+        retry_delay: int = 20,
+    ) -> None:
+        self.sim = sim
+        self.stats = stats
+        self.memory = memory
+        self.crossbar = crossbar
+        self.addr_latency = addr_latency
+        self.issue_interval = issue_interval
+        self.max_outstanding = max_outstanding
+        self.retry_delay = retry_delay
+        self._clients: Dict[int, "BusClient"] = {}
+        self._snoop_order: List = []
+        self._queue: Deque[BusTransaction] = deque()
+        self._next_issue_time = 0
+        self._issue_scheduled = False
+        self._outstanding = 0
+        #: line -> txn_id of the in-flight fill blocking that line
+        self._line_blocked: Dict[int, int] = {}
+        #: transactions parked behind a blocked line, in arrival order
+        self._line_wait: Dict[int, Deque[BusTransaction]] = {}
+        #: optional trace hook: observer(time, txn, supplier, shared, deferred)
+        self.observer: Optional[Callable[..., None]] = None
+
+    def attach(self, node_id: int, client: "BusClient") -> None:
+        self._clients[node_id] = client
+        self._snoop_order = sorted(self._clients.items())
+
+    # ------------------------------------------------------------------
+    # Request side
+    # ------------------------------------------------------------------
+    def request(self, txn: BusTransaction) -> None:
+        """Enqueue a transaction for arbitration (FIFO)."""
+        self._queue.append(txn)
+        self.stats.counter("bus.requests").inc()
+        self._pump()
+
+    def transaction_complete(self, txn: BusTransaction) -> None:
+        """Called by the requester when the response data has arrived."""
+        self._outstanding -= 1
+        self._unblock_line(txn)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Arbitration and issue
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        if self._issue_scheduled or not self._queue:
+            return
+        if self._outstanding >= self.max_outstanding:
+            self.stats.counter("bus.outstanding_stalls").inc()
+            return
+        when = max(self.sim.now, self._next_issue_time)
+        self._issue_scheduled = True
+        self.sim.schedule_at(when, self._issue_next)
+
+    def _issue_next(self) -> None:
+        self._issue_scheduled = False
+        if self._outstanding >= self.max_outstanding:
+            return
+        txn = self._pick_issuable()
+        if txn is None:
+            return
+        self._next_issue_time = self.sim.now + self.issue_interval
+        txn.issue_time = self.sim.now
+        self.stats.counter("bus.transactions").inc()
+        self.stats.counter(f"bus.{txn.op.value}").inc()
+        if txn.op in DATA_OPS:
+            self._outstanding += 1
+            # Block the line until the fill lands (or the response turns
+            # out to be deferred, which unblocks at resolve time).
+            self._line_blocked[txn.line_addr] = txn.txn_id
+        # Snoop resolution happens after the address access latency.
+        self.sim.schedule(self.addr_latency, self._resolve, txn)
+        if self._queue:
+            self._pump()
+
+    def _pick_issuable(self) -> Optional[BusTransaction]:
+        """Pop the first live transaction whose line is not blocked."""
+        while self._queue:
+            txn = self._queue.popleft()
+            if txn.cancelled:
+                self.stats.counter("bus.cancelled").inc()
+                # A retried transaction may already hold its line's block
+                # (e.g. its requester was satisfied by a pushed line in
+                # the meantime); dropping it must release the block.
+                self._unblock_line(txn)
+                continue
+            blocker = self._line_blocked.get(txn.line_addr)
+            if (
+                blocker is not None
+                and blocker != txn.txn_id
+                and txn.op is not BusOp.WRITEBACK
+            ):
+                # Ownership-granting and data ops alike wait out an
+                # in-flight fill: an UPGRADE crossing a pending fill
+                # would let stale data be installed over a newer write.
+                # (A transaction blocked by itself is a retry; let it in.)
+                self._line_wait.setdefault(txn.line_addr, deque()).append(txn)
+                self.stats.counter("bus.line_conflicts").inc()
+                continue
+            return txn
+        return None
+
+    def _unblock_line(self, txn: BusTransaction) -> None:
+        if self._line_blocked.get(txn.line_addr) != txn.txn_id:
+            return
+        del self._line_blocked[txn.line_addr]
+        waiters = self._line_wait.pop(txn.line_addr, None)
+        if waiters:
+            # Re-enter at the front, preserving arrival order.
+            self._queue.extendleft(reversed(waiters))
+
+    # ------------------------------------------------------------------
+    # Snoop resolution
+    # ------------------------------------------------------------------
+    def _resolve(self, txn: BusTransaction) -> None:
+        """Broadcast the snoop and determine the data supplier."""
+        if txn.cancelled:
+            # Withdrawn after issue (e.g. an UPGRADE whose SC already
+            # failed): it must not reach the snoopers — a stale upgrade
+            # would invalidate the rightful owner.
+            self.stats.counter("bus.cancelled_in_flight").inc()
+            if txn.op in DATA_OPS:
+                self._outstanding -= 1
+                self._unblock_line(txn)
+            self._pump()
+            return
+        supply_node: Optional[int] = None
+        defer_node: Optional[int] = None
+        retry = False
+        shared = False
+        for node_id, client in self._snoop_order:
+            if node_id == txn.requester:
+                continue
+            reply = client.snoop(txn)
+            if reply.shared:
+                shared = True
+            if reply.supply:
+                if supply_node is not None:
+                    raise RuntimeError(
+                        f"two owners answered {txn}: P{supply_node} and P{node_id}"
+                    )
+                supply_node = node_id
+            if reply.defer and defer_node is None:
+                defer_node = node_id
+            if reply.retry:
+                retry = True
+
+        if supply_node is None and retry:
+            # The line is in flight between caches; NACK and reissue — the
+            # retry mechanism of real snooping buses.
+            self._retry(txn)
+            return
+
+        deferred = supply_node is None and defer_node is not None
+        supplier = supply_node if supply_node is not None else defer_node
+
+        # Second snoop phase: outcome-dependent reactions (queue breakdown
+        # happens only when an owner actually supplied a regular RFO).
+        if txn.op in (BusOp.GETX, BusOp.UPGRADE):
+            supplied = supply_node is not None
+            for node_id, client in self._snoop_order:
+                if node_id != txn.requester:
+                    client.post_snoop(txn, supplied=supplied, deferred=deferred)
+
+        if deferred:
+            # The responsible node keeps answering snoops; later same-line
+            # requests must broadcast so the queue can form.
+            self._unblock_line(txn)
+            self._pump()
+
+        if txn.op is BusOp.WRITEBACK:
+            if txn.data is None:
+                raise RuntimeError(f"writeback {txn} carries no data")
+            self.memory.write_line(txn.line_addr, txn.data)
+            self._notify_requester(txn, supplier, shared, deferred)
+            self._observe(txn, supplier, shared, deferred)
+            return
+
+        if txn.op is BusOp.UPGRADE:
+            # Permission-only: sharers invalidated during snoop; no data.
+            self._notify_requester(txn, supplier, shared, deferred)
+            self._observe(txn, supplier, shared, deferred)
+            return
+
+        if supply_node is None and not deferred:
+            self._supply_from_memory(txn, shared)
+        # else: the owning controller supplies (now or deferred) — it
+        # learned so from its own snoop return and schedules the send.
+        self._notify_requester(txn, supplier, shared, deferred)
+        self._observe(txn, supplier, shared, deferred)
+
+    def _retry(self, txn: BusTransaction) -> None:
+        """NACK: reissue the transaction after a short delay."""
+        txn.retries += 1
+        self.stats.counter("bus.retries").inc()
+        if txn.retries > 10_000:
+            raise RuntimeError(f"{txn} retried {txn.retries} times; wedged")
+        if txn.op in DATA_OPS:
+            self._outstanding -= 1  # re-incremented at the next issue
+        # The line block (keyed by this txn) is retained so parked
+        # same-line transactions keep waiting behind us.
+        self.sim.schedule(self.retry_delay, self._requeue, txn)
+
+    def _requeue(self, txn: BusTransaction) -> None:
+        self._queue.append(txn)
+        self._pump()
+
+    def _notify_requester(
+        self,
+        txn: BusTransaction,
+        supplier: Optional[int],
+        shared: bool,
+        deferred: bool,
+    ) -> None:
+        client = self._clients.get(txn.requester)
+        if client is not None:
+            client.on_own_issue(txn, supplier, shared, deferred)
+
+    def _observe(
+        self,
+        txn: BusTransaction,
+        supplier: Optional[int],
+        shared: bool,
+        deferred: bool,
+    ) -> None:
+        if self.observer is not None:
+            self.observer(self.sim.now, txn, supplier, shared, deferred)
+
+    def _supply_from_memory(self, txn: BusTransaction, shared: bool) -> None:
+        """No cache owner: main memory provides the line."""
+        if txn.op is BusOp.GETS:
+            grant = GrantState.SHARED if shared else GrantState.EXCLUSIVE
+        else:
+            grant = GrantState.EXCLUSIVE
+        data = self.memory.read_line(txn.line_addr)
+        msg = DataMessage(
+            DataKind.LINE,
+            txn.line_addr,
+            src=MEMORY_NODE,
+            dst=txn.requester,
+            data=data,
+            grant=grant,
+            txn_id=txn.txn_id,
+        )
+        self.stats.counter("bus.memory_supplies").inc()
+        self.sim.schedule(self.memory.line_latency(), self.crossbar.send, msg)
+
+
+class BusClient:
+    """Interface controllers implement to sit on the address bus."""
+
+    def snoop(self, txn: BusTransaction) -> SnoopReply:  # pragma: no cover
+        raise NotImplementedError
+
+    def post_snoop(
+        self, txn: BusTransaction, supplied: bool, deferred: bool
+    ) -> None:  # pragma: no cover
+        """Second phase: reactions that depend on the snoop outcome."""
+        raise NotImplementedError
+
+    def on_own_issue(
+        self,
+        txn: BusTransaction,
+        supplier: Optional[int],
+        shared: bool,
+        deferred: bool,
+    ) -> None:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,28 @@
+"""Memory substrate: addressing, cache lines, arrays, hierarchy, DRAM."""
+
+from repro.mem.address import WORD_BYTES, AddressMap
+from repro.mem.cache import CacheArray
+from repro.mem.hierarchy import NodeCacheHierarchy
+from repro.mem.line import (
+    DIRTY_STATES,
+    OWNER_STATES,
+    READABLE_STATES,
+    WRITABLE_STATES,
+    CacheLine,
+    State,
+)
+from repro.mem.mainmemory import MainMemory
+
+__all__ = [
+    "AddressMap",
+    "CacheArray",
+    "CacheLine",
+    "DIRTY_STATES",
+    "MainMemory",
+    "NodeCacheHierarchy",
+    "OWNER_STATES",
+    "READABLE_STATES",
+    "State",
+    "WORD_BYTES",
+    "WRITABLE_STATES",
+]

@@ -1,0 +1,84 @@
+"""Cache line storage and coherence states.
+
+States follow the MOESI protocol used by the paper's L2/system bus
+(Table 1), plus TEAROFF — the speculative read-only copy introduced by
+IQOLB (paper §3.3).  A TEAROFF line carries a data snapshot but confers no
+coherence permission: it satisfies loads/LLs to that line only, is never
+written, and is silently discarded or overwritten when real data arrives.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+
+class State(enum.Enum):
+    """MOESI coherence states plus the IQOLB tear-off pseudo-state."""
+
+    INVALID = "I"
+    SHARED = "S"
+    EXCLUSIVE = "E"
+    MODIFIED = "M"
+    OWNED = "O"
+    TEAROFF = "T"
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+#: States that permit a store (or a successful SC) without a bus transaction.
+WRITABLE_STATES = frozenset({State.EXCLUSIVE, State.MODIFIED})
+
+#: States that permit a local load hit.
+READABLE_STATES = frozenset(
+    {State.SHARED, State.EXCLUSIVE, State.MODIFIED, State.OWNED, State.TEAROFF}
+)
+
+#: States in which this cache is responsible for supplying data to the bus.
+OWNER_STATES = frozenset({State.EXCLUSIVE, State.MODIFIED, State.OWNED})
+
+#: States holding dirty data that must be written back on eviction.
+DIRTY_STATES = frozenset({State.MODIFIED, State.OWNED})
+
+
+class CacheLine:
+    """One line frame: tag, coherence state, data words, replacement info."""
+
+    __slots__ = ("addr", "state", "data", "last_used", "pinned")
+
+    def __init__(self, addr: int, state: State, data: List[int]) -> None:
+        self.addr = addr
+        self.state = state
+        self.data = data
+        self.last_used = 0
+        self.pinned = False
+
+    @property
+    def valid(self) -> bool:
+        return self.state is not State.INVALID
+
+    @property
+    def writable(self) -> bool:
+        return self.state in WRITABLE_STATES
+
+    @property
+    def readable(self) -> bool:
+        return self.state in READABLE_STATES
+
+    @property
+    def is_owner(self) -> bool:
+        return self.state in OWNER_STATES
+
+    @property
+    def dirty(self) -> bool:
+        return self.state in DIRTY_STATES
+
+    def read_word(self, index: int) -> int:
+        return self.data[index]
+
+    def write_word(self, index: int, value: int) -> None:
+        self.data[index] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Line {self.addr:#x} {self.state.value}>"

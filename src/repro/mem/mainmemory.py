@@ -1,0 +1,59 @@
+"""Main memory model.
+
+A flat word-addressed store with the paper's DRAM timing: 40 cycles for the
+first 8 bytes of a line and 4 cycles for each subsequent 8-byte chunk
+(Table 1), so a 64-byte line costs 40 + 7*4 = 68 cycles of access time
+before it enters the data network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.mem.address import WORD_BYTES, AddressMap
+
+
+class MainMemory:
+    """Backing store plus access-latency calculation."""
+
+    def __init__(
+        self,
+        amap: AddressMap,
+        first_chunk_cycles: int = 40,
+        next_chunk_cycles: int = 4,
+        chunk_bytes: int = 8,
+    ) -> None:
+        self.amap = amap
+        self.first_chunk_cycles = first_chunk_cycles
+        self.next_chunk_cycles = next_chunk_cycles
+        self.chunk_bytes = chunk_bytes
+        self._words: Dict[int, int] = {}
+
+    def line_latency(self) -> int:
+        """Cycles to read or write one full cache line."""
+        chunks = self.amap.line_bytes // self.chunk_bytes
+        return self.first_chunk_cycles + (chunks - 1) * self.next_chunk_cycles
+
+    # ------------------------------------------------------------------
+    # Data access (functional; timing handled by callers/bus)
+    # ------------------------------------------------------------------
+    def read_line(self, line_addr: int) -> List[int]:
+        """Return a copy of the line's words (missing words read as 0)."""
+        base = line_addr // WORD_BYTES
+        return [self._words.get(base + i, 0) for i in range(self.amap.words_per_line)]
+
+    def write_line(self, line_addr: int, data: List[int]) -> None:
+        """Write back a full line."""
+        if len(data) != self.amap.words_per_line:
+            raise ValueError("line data has wrong word count")
+        base = line_addr // WORD_BYTES
+        for i, value in enumerate(data):
+            self._words[base + i] = value
+
+    def read_word(self, addr: int) -> int:
+        """Direct word read (used by the harness to initialise/inspect)."""
+        return self._words.get(addr // WORD_BYTES, 0)
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Direct word write (used by the harness to initialise memory)."""
+        self._words[addr // WORD_BYTES] = value

@@ -1,0 +1,27 @@
+"""Simulated synchronization library: locks, fetch&op, barriers."""
+
+from repro.sync.anderson import AndersonLock
+from repro.sync.barrier import Barrier
+from repro.sync.clh import ClhLock
+from repro.sync.fetchop import compare_and_swap, fetch_and_add, fetch_and_op
+from repro.sync.mcs import McsLock
+from repro.sync.primitives import Lock, synthetic_pc
+from repro.sync.qolb_lock import QolbLock
+from repro.sync.ticket import TicketLock
+from repro.sync.tts import TSLock, TTSLock
+
+__all__ = [
+    "AndersonLock",
+    "Barrier",
+    "ClhLock",
+    "Lock",
+    "McsLock",
+    "QolbLock",
+    "TSLock",
+    "TTSLock",
+    "TicketLock",
+    "compare_and_swap",
+    "fetch_and_add",
+    "fetch_and_op",
+    "synthetic_pc",
+]

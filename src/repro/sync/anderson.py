@@ -1,0 +1,72 @@
+"""Anderson's array-based queue lock (paper §2 related work, ref [3]).
+
+T. E. Anderson, "The Performance of Spin Lock Alternatives for
+Shared-Memory Multiprocessors", IEEE TPDS 1(1), 1990.
+
+Acquire takes a slot with an atomic fetch&increment on the tail counter
+and spins on its own flag word; release sets the next slot's flag.  Each
+slot lives in its own cache line so waiters spin without interfering —
+the software ancestor of the hardware queues this paper builds.
+
+The slot array must have at least as many slots as there are concurrent
+contenders (threads), as in Anderson's original design.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cpu.ops import Compute, Read, Write
+from repro.sync.fetchop import fetch_and_add
+from repro.sync.primitives import Lock, synthetic_pc
+
+SPIN_PAUSE = 24
+
+#: slot flag values
+HAS_LOCK = 1
+MUST_WAIT = 0
+
+
+class AndersonLock(Lock):
+    """Array-based queue lock.
+
+    ``tail_addr`` holds the next free slot index; ``slot_addrs`` are the
+    per-slot flag words (one cache line each).  Slot 0 must be
+    initialised to ``HAS_LOCK`` (the lock starts free); the system
+    builder or caller does that with ``initialise``.
+    """
+
+    name = "anderson"
+
+    def __init__(self, tail_addr: int, slot_addrs: List[int]) -> None:
+        super().__init__(tail_addr)
+        if len(slot_addrs) < 2:
+            raise ValueError("Anderson lock needs at least two slots")
+        self.tail_addr = tail_addr
+        self.slot_addrs = slot_addrs
+        self.n_slots = len(slot_addrs)
+        self.pc_spin = synthetic_pc("anderson.spin")
+
+    def initialise(self, write_word) -> None:
+        """Set up initial memory state (slot 0 holds the lock)."""
+        write_word(self.slot_addrs[0], HAS_LOCK)
+        for addr in self.slot_addrs[1:]:
+            write_word(addr, MUST_WAIT)
+        write_word(self.tail_addr, 0)
+
+    def acquire_slot(self):
+        """Generator: acquire; returns the slot index (keep for release)."""
+        ticket = yield from fetch_and_add(self.tail_addr, 1, "anderson.grab")
+        slot = ticket % self.n_slots
+        while True:
+            flag = yield Read(self.slot_addrs[slot], pc=self.pc_spin)
+            if flag == HAS_LOCK:
+                return slot
+            yield Compute(SPIN_PAUSE)
+
+    def release_slot(self, slot: int):
+        """Generator: release from the given slot."""
+        # Reset our slot for its next wrap-around use, then pass the
+        # lock to the next slot.
+        yield Write(self.slot_addrs[slot], MUST_WAIT)
+        yield Write(self.slot_addrs[(slot + 1) % self.n_slots], HAS_LOCK)

@@ -1,0 +1,50 @@
+"""Sense-reversing centralized barrier.
+
+The SPLASH-2 applications the paper evaluates synchronize with barriers
+as well as locks; the synthetic workload models need one.  Arrival uses
+an atomic fetch&add on the count; the last arriver resets the count and
+flips the sense word, which waiters spin-read.
+
+Each participating thread keeps its own local sense, passed in and
+returned so the generator protocol stays stateless.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.ops import Compute, Read, Write
+from repro.sync.fetchop import fetch_and_add
+from repro.sync.primitives import synthetic_pc
+
+SPIN_PAUSE = 16
+MAX_SPIN_PAUSE = 512
+
+
+class Barrier:
+    """Centralized sense-reversing barrier on two words."""
+
+    def __init__(self, count_addr: int, sense_addr: int, parties: int) -> None:
+        if parties <= 0:
+            raise ValueError("barrier needs at least one party")
+        self.count_addr = count_addr
+        self.sense_addr = sense_addr
+        self.parties = parties
+        self.pc_spin = synthetic_pc("barrier.spin")
+
+    def wait(self, local_sense: int):
+        """Generator: block until all parties arrive; returns new sense."""
+        new_sense = 1 - local_sense
+        arrived = yield from fetch_and_add(self.count_addr, 1, "barrier.arrive")
+        if arrived + 1 == self.parties:
+            # Last arriver: reset the count, then flip the global sense.
+            yield Write(self.count_addr, 0)
+            yield Write(self.sense_addr, new_sense)
+            return new_sense
+        pause = SPIN_PAUSE
+        while True:
+            sense = yield Read(self.sense_addr, pc=self.pc_spin)
+            if sense == new_sense:
+                return new_sense
+            # Exponential backoff: barrier waits can be long (serial
+            # phases), and proportional backoff keeps the spin cheap.
+            yield Compute(pause)
+            pause = min(pause * 2, MAX_SPIN_PAUSE)

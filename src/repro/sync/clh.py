@@ -1,0 +1,64 @@
+"""The CLH queue lock (Craig; Landin & Hagersten).
+
+A list-based queue lock like MCS but spinning on the *predecessor's*
+node: acquire swaps a fresh node into the tail and spins until the
+predecessor clears its flag; release clears the own node's flag and
+recycles the predecessor's node.  Included, with MCS and Anderson, to
+place the paper's hardware queues against the full software-queue
+landscape.
+
+Node management: each thread owns a node and inherits its predecessor's
+on release (the classic recycling trick), implemented here with a
+per-thread "my node" register kept in the generator's locals.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.ops import Compute, Read, Swap, Write
+from repro.sync.primitives import Lock, synthetic_pc
+
+SPIN_PAUSE = 24
+
+#: node flag values
+PENDING = 1   # holder or waiter: successors must wait
+GRANTED = 0   # released: successor may proceed
+
+
+class ClhLock(Lock):
+    """CLH list-based queue lock; ``addr`` is the tail pointer word.
+
+    The tail must be initialised to a dummy node whose flag is GRANTED
+    (``initialise``).  ``acquire_with(node)`` returns the *new* node the
+    thread owns afterwards (its predecessor's), which it must pass to the
+    next ``acquire_with`` — the recycling protocol.
+    """
+
+    name = "clh"
+
+    def __init__(self, tail_addr: int, dummy_node: int) -> None:
+        super().__init__(tail_addr)
+        self.tail_addr = tail_addr
+        self.dummy_node = dummy_node
+        self.pc_spin = synthetic_pc("clh.spin")
+
+    def initialise(self, write_word) -> None:
+        write_word(self.dummy_node, GRANTED)
+        write_word(self.tail_addr, self.dummy_node)
+
+    def acquire_with(self, node_addr: int):
+        """Generator: acquire using ``node_addr``; returns (held_node,
+        predecessor_node) — release with these, then reuse
+        ``predecessor_node`` for the next acquire."""
+        if node_addr == 0:
+            raise ValueError("CLH node cannot live at address 0")
+        yield Write(node_addr, PENDING)
+        predecessor = yield Swap(self.tail_addr, node_addr)
+        while True:
+            flag = yield Read(predecessor, pc=self.pc_spin)
+            if flag == GRANTED:
+                return node_addr, predecessor
+            yield Compute(SPIN_PAUSE)
+
+    def release_with(self, held_node: int):
+        """Generator: release the lock held via ``held_node``."""
+        yield Write(held_node, GRANTED)

@@ -1,0 +1,44 @@
+"""Fetch&Phi operations built on LL/SC (paper §2).
+
+The LL/SC pair implements any atomic read-modify-write; these helpers are
+generators yielding simulated ops and returning the fetched value.  Under
+the delayed-response and IQOLB protocols, a contended fetch&add completes
+in a single network transaction — the scenario of paper Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cpu.ops import LL, SC, Compute
+from repro.sync.primitives import synthetic_pc
+
+#: modelled cost of the register arithmetic between LL and SC
+ALU_CYCLES = 2
+
+
+def fetch_and_op(addr: int, op: Callable[[int], int], pc_label: str = "fetchop"):
+    """Atomically apply ``op`` to the word at ``addr``; return old value."""
+    pc = synthetic_pc(pc_label)
+    while True:
+        old = yield LL(addr, pc=pc)
+        yield Compute(ALU_CYCLES)
+        ok = yield SC(addr, op(old), pc=pc)
+        if ok:
+            return old
+
+
+def fetch_and_add(addr: int, delta: int = 1, pc_label: str = "fetchadd"):
+    """Atomic fetch&add; returns the pre-increment value."""
+    old = yield from fetch_and_op(addr, lambda v: v + delta, pc_label=pc_label)
+    return old
+
+
+def compare_and_swap(addr: int, expect: int, new: int, pc_label: str = "cas"):
+    """One CAS attempt; returns True when the swap happened."""
+    pc = synthetic_pc(pc_label)
+    old = yield LL(addr, pc=pc)
+    if old != expect:
+        return False
+    ok = yield SC(addr, new, pc=pc)
+    return bool(ok)

@@ -1,0 +1,68 @@
+"""MCS queue lock (paper §2 related work: Mellor-Crummey & Scott).
+
+The classic software queue lock: each thread enqueues its own node with
+an atomic swap on the tail pointer and spins on a flag in its *own* node,
+so waiting generates no traffic on the lock word.  This is the software
+analogue of what QOLB/IQOLB build in hardware, included for the wider
+primitive comparison benches.
+
+Addressing: nodes are identified by their base address; ``0`` means nil,
+so callers must never place a node at address 0.  Each node occupies two
+words: ``flag`` (base) and ``next`` (base + 4).
+"""
+
+from __future__ import annotations
+
+from repro.cpu.ops import Compute, Read, Swap, Write
+from repro.mem.address import WORD_BYTES
+from repro.sync.fetchop import compare_and_swap
+from repro.sync.primitives import Lock, synthetic_pc
+
+SPIN_PAUSE = 24
+
+FLAG_OFFSET = 0
+NEXT_OFFSET = WORD_BYTES
+
+
+class McsLock(Lock):
+    """MCS list-based queue lock; ``addr`` is the tail pointer word."""
+
+    name = "mcs"
+
+    def __init__(self, tail_addr: int) -> None:
+        super().__init__(tail_addr)
+        self.tail_addr = tail_addr
+        self.pc_spin = synthetic_pc("mcs.spin")
+
+    def acquire_with(self, node_addr: int):
+        """Acquire using the caller's queue node at ``node_addr``."""
+        if node_addr == 0:
+            raise ValueError("MCS node cannot live at address 0")
+        yield Write(node_addr + NEXT_OFFSET, 0)
+        yield Write(node_addr + FLAG_OFFSET, 0)
+        predecessor = yield Swap(self.tail_addr, node_addr)
+        if predecessor == 0:
+            return
+        yield Write(predecessor + NEXT_OFFSET, node_addr)
+        while True:
+            flag = yield Read(node_addr + FLAG_OFFSET, pc=self.pc_spin)
+            if flag:
+                return
+            yield Compute(SPIN_PAUSE)
+
+    def release_with(self, node_addr: int):
+        """Release using the same node that acquired."""
+        next_node = yield Read(node_addr + NEXT_OFFSET)
+        if next_node == 0:
+            swapped = yield from compare_and_swap(
+                self.tail_addr, node_addr, 0, pc_label="mcs.release_cas"
+            )
+            if swapped:
+                return
+            # A successor is mid-enqueue: wait for it to link in.
+            while True:
+                next_node = yield Read(node_addr + NEXT_OFFSET)
+                if next_node != 0:
+                    break
+                yield Compute(SPIN_PAUSE)
+        yield Write(next_node + FLAG_OFFSET, 1)

@@ -1,0 +1,45 @@
+"""Ticket lock (paper §2 related work: Mellor-Crummey & Scott).
+
+FIFO-fair: acquire takes a ticket with fetch&add on ``next_ticket`` and
+spins reading ``now_serving``; release increments ``now_serving`` with a
+plain store (only the holder writes it, so no atomicity is needed).
+
+The two words are placed by the caller; putting them in different cache
+lines avoids the ticket-grab invalidating every spinner.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.ops import Compute, Read, Write
+from repro.sync.fetchop import fetch_and_add
+from repro.sync.primitives import Lock, synthetic_pc
+
+SPIN_PAUSE = 24
+
+
+class TicketLock(Lock):
+    """FIFO ticket lock on two words."""
+
+    name = "ticket"
+
+    def __init__(self, ticket_addr: int, serving_addr: int) -> None:
+        super().__init__(ticket_addr)
+        self.ticket_addr = ticket_addr
+        self.serving_addr = serving_addr
+        self.pc_read = synthetic_pc("ticket.spin")
+        self.pc_release = synthetic_pc("ticket.release")
+        self._my_ticket = 0  # per-generator state lives in the frame below
+
+    def acquire(self):
+        my_ticket = yield from fetch_and_add(
+            self.ticket_addr, 1, pc_label="ticket.grab"
+        )
+        while True:
+            serving = yield Read(self.serving_addr, pc=self.pc_read)
+            if serving == my_ticket:
+                return
+            yield Compute(SPIN_PAUSE)
+
+    def release(self):
+        serving = yield Read(self.serving_addr, pc=self.pc_release)
+        yield Write(self.serving_addr, serving + 1, pc=self.pc_release)

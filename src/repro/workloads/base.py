@@ -1,0 +1,147 @@
+"""Workload scaffolding.
+
+A workload knows how to lay out its shared memory on a
+:class:`~repro.harness.system.System` and to produce one generator
+program per processor.  Lock-primitive selection is factored into
+:class:`LockSet` so the same workload runs unchanged under TTS, QOLB,
+ticket, MCS or test&set locking — the comparison axis of the paper's
+evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.harness.system import System
+from repro.sync.anderson import AndersonLock
+from repro.sync.clh import ClhLock
+from repro.sync.mcs import McsLock
+from repro.sync.qolb_lock import QolbLock
+from repro.sync.ticket import TicketLock
+from repro.sync.tts import TSLock, TTSLock
+
+#: lock primitive names accepted by LockSet
+LOCK_KINDS = ("tts", "ts", "ticket", "mcs", "qolb", "anderson", "clh")
+
+
+class LockSet:
+    """A set of locks of one primitive kind, one per lock index.
+
+    MCS needs a private queue node per (thread, lock); the set allocates
+    and hides that so workload code is primitive-agnostic::
+
+        yield from lockset.acquire(lock_idx, tid)
+        ... critical section ...
+        yield from lockset.release(lock_idx, tid)
+    """
+
+    def __init__(
+        self, kind: str, system: System, n_locks: int, n_threads: int
+    ) -> None:
+        if kind not in LOCK_KINDS:
+            raise ValueError(f"unknown lock kind {kind!r}; known: {LOCK_KINDS}")
+        self.kind = kind
+        self.n_locks = n_locks
+        layout = system.layout
+        self._locks: List[object] = []
+        self._mcs_nodes: Optional[List[List[int]]] = None
+        if kind == "tts":
+            self._locks = [TTSLock(layout.alloc_line()) for _ in range(n_locks)]
+        elif kind == "ts":
+            self._locks = [TSLock(layout.alloc_line()) for _ in range(n_locks)]
+        elif kind == "qolb":
+            self._locks = [QolbLock(layout.alloc_line()) for _ in range(n_locks)]
+        elif kind == "ticket":
+            self._locks = [
+                TicketLock(layout.alloc_line(), layout.alloc_line())
+                for _ in range(n_locks)
+            ]
+        elif kind == "mcs":
+            self._locks = [McsLock(layout.alloc_line()) for _ in range(n_locks)]
+            # One queue node per (lock, thread); nodes are two words and
+            # get a line each to avoid false sharing between spinners.
+            self._mcs_nodes = [
+                [layout.alloc_line() for _ in range(n_threads)]
+                for _ in range(n_locks)
+            ]
+        elif kind == "anderson":
+            self._locks = []
+            for _ in range(n_locks):
+                lock = AndersonLock(
+                    layout.alloc_line(),
+                    [layout.alloc_line() for _ in range(max(2, n_threads))],
+                )
+                lock.initialise(system.write_word)
+                self._locks.append(lock)
+            #: slot held between acquire and release, per (lock, thread)
+            self._anderson_slots = {}
+        elif kind == "clh":
+            self._locks = []
+            for _ in range(n_locks):
+                lock = ClhLock(layout.alloc_line(), layout.alloc_line())
+                lock.initialise(system.write_word)
+                self._locks.append(lock)
+            #: each thread's current node and held node, per (lock, thread)
+            self._clh_nodes = {
+                (i, t): layout.alloc_line()
+                for i in range(n_locks)
+                for t in range(n_threads)
+            }
+            self._clh_held = {}
+
+    def lock_addr(self, index: int) -> int:
+        return self._locks[index].addr  # type: ignore[attr-defined]
+
+    def acquire(self, index: int, tid: int) -> Iterator:
+        lock = self._locks[index]
+        if self.kind == "mcs":
+            assert self._mcs_nodes is not None
+            return lock.acquire_with(self._mcs_nodes[index][tid])  # type: ignore
+        if self.kind == "anderson":
+            return self._anderson_acquire(index, tid)
+        if self.kind == "clh":
+            return self._clh_acquire(index, tid)
+        return lock.acquire()  # type: ignore[attr-defined]
+
+    def release(self, index: int, tid: int) -> Iterator:
+        lock = self._locks[index]
+        if self.kind == "mcs":
+            assert self._mcs_nodes is not None
+            return lock.release_with(self._mcs_nodes[index][tid])  # type: ignore
+        if self.kind == "anderson":
+            return self._anderson_release(index, tid)
+        if self.kind == "clh":
+            return self._clh_release(index, tid)
+        return lock.release()  # type: ignore[attr-defined]
+
+    # -- Anderson / CLH need state carried from acquire to release ------
+    def _anderson_acquire(self, index: int, tid: int):
+        slot = yield from self._locks[index].acquire_slot()  # type: ignore
+        self._anderson_slots[(index, tid)] = slot
+
+    def _anderson_release(self, index: int, tid: int):
+        slot = self._anderson_slots.pop((index, tid))
+        yield from self._locks[index].release_slot(slot)  # type: ignore
+
+    def _clh_acquire(self, index: int, tid: int):
+        node = self._clh_nodes[(index, tid)]
+        held, pred = yield from self._locks[index].acquire_with(node)  # type: ignore
+        self._clh_held[(index, tid)] = held
+        self._clh_nodes[(index, tid)] = pred  # recycle predecessor's node
+
+    def _clh_release(self, index: int, tid: int):
+        held = self._clh_held.pop((index, tid))
+        yield from self._locks[index].release_with(held)  # type: ignore
+
+
+class Workload:
+    """Base class: builds per-processor programs on a system."""
+
+    name = "workload"
+
+    def build(self, system: System) -> None:  # pragma: no cover - interface
+        """Allocate shared memory and load one program per processor."""
+        raise NotImplementedError
+
+    def verify(self, system: System) -> None:
+        """Post-run invariant checks (override where meaningful)."""

@@ -1,0 +1,195 @@
+"""Task-pipeline workloads: producer/consumer and reader-heavy sharing.
+
+Two realistic shapes beyond the SPLASH models:
+
+* :class:`ProducerConsumer` — a bounded shared work queue protected by
+  one lock: producers push task ids, consumers pop and process them.
+  This is the paper's Raytrace/Radiosity pattern made explicit, and the
+  canonical beneficiary of queue-based locking.
+* :class:`ReaderHeavy` — one writer updates a small table under a lock
+  while many readers poll it read-only.  Exercises IQOLB's read
+  tear-offs ("a processor interested in querying the state of the lock
+  [and data] proceeds without being involved in the queue", §3.3).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cpu.ops import Compute, Read, Write
+from repro.harness.system import System
+from repro.workloads.base import LockSet, Workload
+
+
+class ProducerConsumer(Workload):
+    """Bounded queue: half the processors produce, half consume."""
+
+    name = "producer-consumer"
+
+    def __init__(
+        self,
+        lock_kind: str = "tts",
+        items_per_producer: int = 12,
+        queue_capacity: int = 8,
+        produce_cycles: int = 150,
+        consume_cycles: int = 200,
+    ) -> None:
+        self.lock_kind = lock_kind
+        self.items_per_producer = items_per_producer
+        self.queue_capacity = queue_capacity
+        self.produce_cycles = produce_cycles
+        self.consume_cycles = consume_cycles
+
+    def build(self, system: System) -> None:
+        n = system.config.n_processors
+        if n < 2:
+            raise ValueError("producer/consumer needs at least 2 processors")
+        self.n_producers = n // 2
+        self.n_consumers = n - self.n_producers
+        self.total_items = self.n_producers * self.items_per_producer
+        layout = system.layout
+        self.lockset = LockSet(self.lock_kind, system, 1, n)
+        # Queue state: head, tail, count in one line; slots in their own.
+        self.head_addr, self.tail_addr, self.count_addr = (
+            layout.alloc_words_in_line(3)
+        )
+        self.slots = [layout.alloc_line() for _ in range(self.queue_capacity)]
+        self.consumed_addr = layout.alloc_line()
+        self.checksum_addr = self.consumed_addr + 4
+        node = 0
+        for producer in range(self.n_producers):
+            system.load_program(node, self._producer(node, producer))
+            node += 1
+        for _consumer in range(self.n_consumers):
+            system.load_program(node, self._consumer(node))
+            node += 1
+
+    def _producer(self, tid: int, producer_idx: int):
+        # Thread-staggered exponential backoff when the queue is full.
+        # The backoff is essential, not cosmetic: a deterministic
+        # simulator can phase-lock fixed-period pollers so that one side
+        # starves forever on an unfair lock (a real TTS pathology).
+        backoff = 40 + tid * 17
+        yield Compute(1 + tid * 7)
+        for i in range(self.items_per_producer):
+            item = producer_idx * 1000 + i + 1
+            while True:
+                yield from self.lockset.acquire(0, tid)
+                count = yield Read(self.count_addr)
+                if count < self.queue_capacity:
+                    tail = yield Read(self.tail_addr)
+                    yield Write(self.slots[tail % self.queue_capacity], item)
+                    yield Write(self.tail_addr, tail + 1)
+                    yield Write(self.count_addr, count + 1)
+                    yield from self.lockset.release(0, tid)
+                    backoff = 40 + tid * 17
+                    break
+                yield from self.lockset.release(0, tid)
+                yield Compute(backoff)  # queue full: back off
+                backoff = min(backoff * 2, 2_000)
+            yield Compute(self.produce_cycles)
+
+    def _consumer(self, tid: int):
+        backoff = 60 + tid * 29
+        yield Compute(1 + tid * 11)
+        while True:
+            yield from self.lockset.acquire(0, tid)
+            consumed = yield Read(self.consumed_addr)
+            count = yield Read(self.count_addr)
+            if consumed >= self.total_items:
+                yield from self.lockset.release(0, tid)
+                return
+            if count == 0:
+                yield from self.lockset.release(0, tid)
+                yield Compute(backoff)  # queue empty: back off
+                backoff = min(backoff * 2, 2_000)
+                continue
+            backoff = 60 + tid * 29
+            head = yield Read(self.head_addr)
+            item = yield Read(self.slots[head % self.queue_capacity])
+            yield Write(self.head_addr, head + 1)
+            yield Write(self.count_addr, count - 1)
+            yield Write(self.consumed_addr, consumed + 1)
+            checksum = yield Read(self.checksum_addr)
+            yield Write(self.checksum_addr, checksum + item)
+            yield from self.lockset.release(0, tid)
+            yield Compute(self.consume_cycles)
+
+    def expected_checksum(self) -> int:
+        total = 0
+        for producer in range(self.n_producers):
+            for i in range(self.items_per_producer):
+                total += producer * 1000 + i + 1
+        return total
+
+    def verify(self, system: System) -> None:
+        consumed = system.read_word(self.consumed_addr)
+        checksum = system.read_word(self.checksum_addr)
+        if consumed != self.total_items:
+            raise AssertionError(
+                f"consumed {consumed} of {self.total_items} items"
+            )
+        if checksum != self.expected_checksum():
+            raise AssertionError(
+                f"checksum {checksum} != {self.expected_checksum()} "
+                "(item lost or duplicated)"
+            )
+
+
+class ReaderHeavy(Workload):
+    """One writer updates a versioned record; readers poll it."""
+
+    name = "reader-heavy"
+
+    def __init__(
+        self,
+        lock_kind: str = "tts",
+        updates: int = 15,
+        reads_per_reader: int = 25,
+        record_words: int = 4,
+    ) -> None:
+        self.lock_kind = lock_kind
+        self.updates = updates
+        self.reads_per_reader = reads_per_reader
+        self.record_words = record_words
+        self.torn_reads: List[tuple] = []
+
+    def build(self, system: System) -> None:
+        n = system.config.n_processors
+        if n < 2:
+            raise ValueError("reader-heavy needs at least 2 processors")
+        layout = system.layout
+        self.lockset = LockSet(self.lock_kind, system, 1, n)
+        self.record = layout.alloc_array(self.record_words)
+        system.load_program(0, self._writer(0))
+        for node in range(1, n):
+            system.load_program(node, self._reader(node))
+
+    def _writer(self, tid: int):
+        for version in range(1, self.updates + 1):
+            yield from self.lockset.acquire(0, tid)
+            for addr in self.record:
+                yield Write(addr, version)
+            yield from self.lockset.release(0, tid)
+            yield Compute(300)
+
+    def _reader(self, tid: int):
+        for _ in range(self.reads_per_reader):
+            yield from self.lockset.acquire(0, tid)
+            values = []
+            for addr in self.record:
+                values.append((yield Read(addr)))
+            yield from self.lockset.release(0, tid)
+            if len(set(values)) != 1:
+                self.torn_reads.append(tuple(values))
+            yield Compute(120)
+
+    def verify(self, system: System) -> None:
+        if self.torn_reads:
+            raise AssertionError(
+                f"{len(self.torn_reads)} torn reads observed: "
+                f"{self.torn_reads[:3]}"
+            )
+        final = [system.read_word(addr) for addr in self.record]
+        if set(final) != {self.updates}:
+            raise AssertionError(f"record inconsistent at end: {final}")

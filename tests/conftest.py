@@ -1,0 +1,63 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import System, SystemConfig
+from repro.cpu.ops import Compute, Read, Write
+
+
+def small_config(n_processors: int = 2, policy: str = "baseline", **overrides):
+    """A small, fast system configuration for unit-level runs."""
+    config = SystemConfig(
+        n_processors=n_processors,
+        policy=policy,
+        max_cycles=20_000_000,
+    )
+    if overrides:
+        config = config.with_(**overrides)
+    return config
+
+
+def build_system(n_processors: int = 2, policy: str = "baseline", **overrides):
+    return System(small_config(n_processors, policy, **overrides))
+
+
+def run_programs(system: System, programs) -> int:
+    """Load one program per processor and run to completion."""
+    for node, program in enumerate(programs):
+        system.load_program(node, program)
+    return system.run()
+
+
+def single_op_program(ops):
+    """A program that executes a fixed list of ops, collecting results."""
+    results = []
+
+    def program():
+        for op in ops:
+            value = yield op
+            results.append(value)
+
+    return program(), results
+
+
+@pytest.fixture(params=[
+    "baseline",
+    "aggressive",
+    "delayed",
+    "delayed+retention",
+    "iqolb",
+    "iqolb+retention",
+    "qolb",
+])
+def any_policy(request):
+    """Parametrize a test over every protocol policy."""
+    return request.param
+
+
+@pytest.fixture(params=["baseline", "delayed", "iqolb", "qolb"])
+def main_policy(request):
+    """The four principal protocol variants."""
+    return request.param

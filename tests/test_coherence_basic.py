@@ -1,0 +1,209 @@
+"""Integration tests for basic MOESI coherence (no speculation).
+
+Exercises plain loads and stores through the full stack — processor,
+controller, bus, crossbar, memory — and checks states, data movement and
+writebacks.
+"""
+
+import pytest
+
+from conftest import build_system, run_programs
+from repro.cpu.ops import Compute, Read, Write
+from repro.mem.line import State
+
+
+class TestSingleProcessor:
+    def test_read_miss_fills_exclusive(self):
+        system = build_system(1)
+        addr = system.layout.alloc_line()
+        system.write_word(addr, 7)
+        seen = []
+
+        def program():
+            seen.append((yield Read(addr)))
+
+        run_programs(system, [program()])
+        assert seen == [7]
+        assert system.controllers[0].hierarchy.state_of(addr) is State.EXCLUSIVE
+
+    def test_write_miss_fills_modified(self):
+        system = build_system(1)
+        addr = system.layout.alloc_line()
+
+        def program():
+            yield Write(addr, 3)
+
+        run_programs(system, [program()])
+        assert system.controllers[0].hierarchy.state_of(addr) is State.MODIFIED
+        assert system.read_word(addr) == 3
+
+    def test_write_hit_on_exclusive_is_silent(self):
+        system = build_system(1)
+        addr = system.layout.alloc_line()
+
+        def program():
+            yield Read(addr)   # E fill
+            yield Write(addr, 1)  # silent E->M
+
+        run_programs(system, [program()])
+        # Only the initial GetS hit the bus.
+        assert system.stats.value("bus.transactions") == 1
+
+    def test_second_read_is_a_cache_hit(self):
+        system = build_system(1)
+        addr = system.layout.alloc_line()
+
+        def program():
+            yield Read(addr)
+            yield Read(addr)
+
+        run_programs(system, [program()])
+        assert system.stats.value("cache0.l1_hits") >= 1
+        assert system.stats.value("bus.GetS") == 1
+
+
+class TestTwoProcessorSharing:
+    def test_read_sharing_downgrades_owner(self):
+        system = build_system(2)
+        addr = system.layout.alloc_line()
+
+        def writer():
+            yield Write(addr, 42)
+            yield Compute(500)
+
+        def reader():
+            yield Compute(200)
+            value = yield Read(addr)
+            assert value == 42
+
+        run_programs(system, [writer(), reader()])
+        # Writer supplied and kept a dirty OWNED copy; reader is SHARED.
+        assert system.controllers[0].hierarchy.state_of(addr) is State.OWNED
+        assert system.controllers[1].hierarchy.state_of(addr) is State.SHARED
+
+    def test_write_invalidates_sharers(self):
+        system = build_system(2)
+        addr = system.layout.alloc_line()
+
+        def reader():
+            yield Read(addr)
+            yield Compute(600)
+
+        def writer():
+            yield Compute(200)
+            yield Write(addr, 9)
+
+        run_programs(system, [reader(), writer()])
+        assert system.controllers[0].hierarchy.state_of(addr) is State.INVALID
+        assert system.controllers[1].hierarchy.state_of(addr) is State.MODIFIED
+
+    def test_dirty_data_travels_cache_to_cache(self):
+        system = build_system(2)
+        addr = system.layout.alloc_line()
+        seen = []
+
+        def writer():
+            yield Write(addr, 1234)
+
+        def reader():
+            yield Compute(400)
+            seen.append((yield Read(addr)))
+
+        run_programs(system, [writer(), reader()])
+        assert seen == [1234]
+        # Memory was never updated (the owner supplied): dirty sharing.
+        assert system.memory.read_word(addr) == 0
+
+    def test_write_after_shared_uses_upgrade(self):
+        system = build_system(2)
+        addr = system.layout.alloc_line()
+
+        def toucher():
+            yield Read(addr)
+            yield Compute(600)
+
+        def upgrader():
+            yield Compute(200)
+            yield Read(addr)     # now SHARED in both
+            yield Write(addr, 5)  # upgrade, not a full GetX
+
+        run_programs(system, [toucher(), upgrader()])
+        assert system.stats.value("bus.Upgrade") >= 1
+
+    def test_sequential_counter_correct(self):
+        system = build_system(2)
+        addr = system.layout.alloc_line()
+
+        def bump(times, stagger):
+            def program():
+                yield Compute(stagger)
+                for _ in range(times):
+                    value = yield Read(addr)
+                    yield Write(addr, value + 1)
+                    yield Compute(400)  # long gap: effectively no overlap
+            return program()
+
+        run_programs(system, [bump(5, 0), bump(5, 200)])
+        assert system.read_word(addr) == 10
+
+
+class TestEvictionsAndWritebacks:
+    def test_dirty_eviction_writes_back(self):
+        # Tiny L2 to force capacity evictions.
+        system = build_system(
+            1,
+            l1_size_bytes=2 * 64,
+            l1_assoc=1,
+            l2_size_bytes=4 * 64,
+            l2_assoc=1,
+        )
+        lines = [system.layout.alloc_line() for _ in range(12)]
+
+        def program():
+            for i, addr in enumerate(lines):
+                yield Write(addr, i + 1)
+
+        run_programs(system, [program()])
+        assert system.stats.value("ctrl0.writebacks") > 0
+        # Every value is recoverable (from cache or memory).
+        for i, addr in enumerate(lines):
+            assert system.read_word(addr) == i + 1
+
+    def test_eviction_then_reload(self):
+        system = build_system(
+            1,
+            l1_size_bytes=2 * 64,
+            l1_assoc=1,
+            l2_size_bytes=4 * 64,
+            l2_assoc=1,
+        )
+        lines = [system.layout.alloc_line() for _ in range(10)]
+        seen = []
+
+        def program():
+            for i, addr in enumerate(lines):
+                yield Write(addr, i + 1)
+            for i, addr in enumerate(lines):
+                seen.append((yield Read(addr)))
+
+        run_programs(system, [program()])
+        assert seen == [i + 1 for i in range(10)]
+
+
+class TestFalseSharing:
+    def test_distinct_words_same_line_stay_coherent(self):
+        system = build_system(2)
+        base = system.layout.alloc_line()
+        a, b = base, base + 4
+
+        def worker(addr, stagger):
+            def program():
+                yield Compute(stagger)
+                for i in range(6):
+                    yield Write(addr, i + 1)
+                    yield Compute(150)
+            return program()
+
+        run_programs(system, [worker(a, 0), worker(b, 70)])
+        assert system.read_word(a) == 6
+        assert system.read_word(b) == 6

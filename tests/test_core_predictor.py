@@ -1,0 +1,139 @@
+"""Unit tests for the lock predictor and held-lock table (paper §3.4)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.predictor import HeldLockTable, LockPredictor
+from repro.mem.address import AddressMap
+
+
+class TestLockPredictor:
+    def test_unknown_pc_is_not_a_lock(self):
+        assert not LockPredictor().predict_lock(0x400)
+
+    def test_training(self):
+        predictor = LockPredictor()
+        predictor.train_lock(0x400)
+        assert predictor.predict_lock(0x400)
+        assert not predictor.predict_lock(0x404)
+
+    def test_capacity_eviction(self):
+        predictor = LockPredictor(capacity=2)
+        predictor.train_lock(1)
+        predictor.train_lock(2)
+        predictor.train_lock(3)  # evicts pc=1 (LRU)
+        assert not predictor.predict_lock(1)
+        assert predictor.predict_lock(2)
+        assert predictor.predict_lock(3)
+
+    def test_pathological_disable(self):
+        predictor = LockPredictor(min_samples=4, disable_threshold=0.6)
+        predictor.train_lock(0x400)  # 1 correct
+        for _ in range(3):
+            predictor.record_misprediction(0x400)
+        # 1 correct / 4 samples = 0.25 < 0.6 -> disabled
+        assert not predictor.predict_lock(0x400)
+        assert predictor.stats()["disabled"] == 1
+
+    def test_accurate_entries_stay_enabled(self):
+        predictor = LockPredictor(min_samples=4, disable_threshold=0.6)
+        predictor.train_lock(0x400)
+        for _ in range(10):
+            predictor.record_correct(0x400)
+        predictor.record_misprediction(0x400)
+        assert predictor.predict_lock(0x400)
+
+    def test_misprediction_of_unknown_pc_is_noop(self):
+        predictor = LockPredictor()
+        predictor.record_misprediction(0x999)  # must not raise
+        assert predictor.stats()["entries"] == 0
+
+    def test_stats(self):
+        predictor = LockPredictor()
+        predictor.train_lock(1)
+        stats = predictor.stats()
+        assert stats == {"entries": 1, "lock_entries": 1, "disabled": 0}
+
+
+def make_table(capacity=4):
+    return HeldLockTable(AddressMap(64), capacity=capacity)
+
+
+class TestHeldLockTable:
+    def test_insert_and_release(self):
+        table = make_table()
+        table.insert(0x100, pc=7, now=0)
+        entry = table.release(0x100)
+        assert entry is not None and entry.pc == 7
+        assert table.release(0x100) is None
+
+    def test_release_other_word_misses(self):
+        """Writes to collocated words must not look like releases."""
+        table = make_table()
+        table.insert(0x100, pc=7, now=0)
+        assert table.release(0x104) is None  # same line, different word
+        assert table.release(0x100) is not None
+
+    def test_contains_line(self):
+        table = make_table()
+        table.insert(0x104, pc=7, now=0)
+        assert table.contains_line(0x100)
+        assert not table.contains_line(0x140)
+        table.release(0x104)
+        assert not table.contains_line(0x100)
+
+    def test_two_locks_one_line(self):
+        table = make_table()
+        table.insert(0x100, pc=1, now=0)
+        table.insert(0x104, pc=2, now=1)
+        table.release(0x100)
+        assert table.contains_line(0x100)  # 0x104 still held
+        table.release(0x104)
+        assert not table.contains_line(0x100)
+
+    def test_capacity_discards_oldest(self):
+        table = make_table(capacity=2)
+        table.insert(0x100, pc=1, now=0)
+        table.insert(0x140, pc=2, now=1)
+        discarded = table.insert(0x180, pc=3, now=2)
+        assert discarded is not None and discarded.addr == 0x100
+        assert table.release(0x100) is None
+        assert len(table) == 2
+
+    def test_reinsert_same_addr_replaces(self):
+        table = make_table()
+        table.insert(0x100, pc=1, now=0)
+        table.insert(0x100, pc=2, now=5)
+        assert len(table) == 1
+        assert table.release(0x100).pc == 2
+
+    def test_lookup_line(self):
+        table = make_table()
+        assert table.lookup_line(0x100) is None
+        table.insert(0x108, pc=9, now=0)
+        entry = table.lookup_line(0x100)
+        assert entry is not None and entry.pc == 9
+
+    def test_timed_out_flag_defaults_false(self):
+        table = make_table()
+        table.insert(0x100, pc=1, now=0)
+        assert table.lookup_line(0x100).timed_out is False
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=40))
+    def test_line_count_invariant(self, word_indices):
+        """contains_line always agrees with the set of held entries."""
+        table = make_table(capacity=8)
+        amap = AddressMap(64)
+        for i, w in enumerate(word_indices):
+            addr = w * 4
+            if i % 3 == 2:
+                table.release(addr)
+            else:
+                table.insert(addr, pc=i, now=i)
+            held_lines = {
+                amap.line_addr(e.addr) for e in table._by_addr.values()
+            }
+            for line in held_lines:
+                assert table.contains_line(line)
+            for line in {amap.line_addr(w * 4) for w in word_indices}:
+                if line not in held_lines:
+                    assert not table.contains_line(line)

@@ -1,0 +1,108 @@
+"""Unit tests for the event queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.event import Event, EventQueue
+
+
+def drain(queue):
+    out = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        out.append(event)
+    return out
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(30, lambda: None)
+        queue.push(10, lambda: None)
+        queue.push(20, lambda: None)
+        assert [e.time for e in drain(queue)] == [10, 20, 30]
+
+    def test_same_time_pops_in_push_order(self):
+        queue = EventQueue()
+        order = []
+        for i in range(5):
+            queue.push(7, order.append, (i,))
+        for event in drain(queue):
+            event.callback(*event.args)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_time_ties(self):
+        queue = EventQueue()
+        queue.push(5, lambda: None, priority=2)
+        queue.push(5, lambda: None, priority=0)
+        queue.push(5, lambda: None, priority=1)
+        assert [e.priority for e in drain(queue)] == [0, 1, 2]
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=50))
+    def test_pop_order_is_sorted_by_time(self, times):
+        queue = EventQueue()
+        for t in times:
+            queue.push(t, lambda: None)
+        popped = [e.time for e in drain(queue)]
+        assert popped == sorted(times)
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), max_size=40))
+    def test_equal_times_preserve_insertion_order(self, times):
+        queue = EventQueue()
+        for i, t in enumerate(times):
+            queue.push(t, lambda: None, (i,))
+        popped = drain(queue)
+        # Stable: among equal times, seq (== insertion index) ascends.
+        for a, b in zip(popped, popped[1:]):
+            if a.time == b.time:
+                assert a.seq < b.seq
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        queue = EventQueue()
+        keep = queue.push(1, lambda: None)
+        gone = queue.push(2, lambda: None)
+        queue.cancel(gone)
+        events = drain(queue)
+        assert events == [keep]
+
+    def test_cancel_updates_length(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        assert len(queue) == 1
+        queue.cancel(event)
+        assert len(queue) == 0
+        assert not queue
+
+    def test_double_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)
+        assert len(queue) == 0
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1, lambda: None)
+        queue.push(5, lambda: None)
+        queue.cancel(first)
+        assert queue.peek_time() == 5
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestEvent:
+    def test_event_comparison(self):
+        a = Event(1, 0, 0, lambda: None, ())
+        b = Event(2, 0, 1, lambda: None, ())
+        assert a < b
+
+    def test_cancel_flag(self):
+        event = Event(1, 0, 0, lambda: None, ())
+        assert not event.cancelled
+        event.cancel()
+        assert event.cancelled

@@ -1,0 +1,112 @@
+"""Unit tests for the simulation kernel."""
+
+import pytest
+
+from repro.engine.simulator import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_schedule_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, "a")
+        sim.schedule(5, fired.append, "b")
+        sim.run()
+        assert fired == ["b", "a"]
+        assert sim.now == 10
+
+    def test_zero_delay_fires_same_cycle(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+        assert sim.now == 0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        sim.schedule_at(42, lambda: None)
+        sim.run()
+        assert sim.now == 42
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(7, inner)
+
+        def inner():
+            fired.append(("inner", sim.now))
+
+        sim.schedule(3, outer)
+        sim.run()
+        assert fired == [("outer", 3), ("inner", 10)]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(5, fired.append, 1)
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+
+class TestRun:
+    def test_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        for t in (1, 2, 3, 4):
+            sim.schedule(t, fired.append, t)
+        sim.run(until=lambda: len(fired) >= 2)
+        assert fired == [1, 2]
+        assert sim.pending_events == 2
+
+    def test_max_cycles_guard(self):
+        sim = Simulator(max_cycles=100)
+
+        def reschedule():
+            sim.schedule(10, reschedule)
+
+        sim.schedule(10, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_step(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1, fired.append, "x")
+        assert sim.step() is True
+        assert fired == ["x"]
+        assert sim.step() is False
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule(t, lambda: None)
+        sim.run()
+        assert sim.events_fired == 5
+
+    def test_determinism(self):
+        def build_and_run():
+            sim = Simulator()
+            trace = []
+            for t in (3, 1, 1, 2):
+                sim.schedule(t, lambda t=t: trace.append((sim.now, t)))
+            sim.run()
+            return trace
+
+        assert build_and_run() == build_and_run()

@@ -1,0 +1,76 @@
+"""Unit tests for statistics collection."""
+
+from hypothesis import given, strategies as st
+
+from repro.engine.stats import Counter, Histogram, StatsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram("h")
+        assert h.count == 0
+        assert h.mean == 0.0
+
+    def test_moments(self):
+        h = Histogram("h")
+        for sample in (4, 2, 9):
+            h.add(sample)
+        assert h.count == 3
+        assert h.total == 15
+        assert h.min == 2
+        assert h.max == 9
+        assert h.mean == 5.0
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1))
+    def test_moments_match_reference(self, samples):
+        h = Histogram("h")
+        for s in samples:
+            h.add(s)
+        assert h.count == len(samples)
+        assert h.total == sum(samples)
+        assert h.min == min(samples)
+        assert h.max == max(samples)
+
+
+class TestRegistry:
+    def test_counter_is_memoized(self):
+        stats = StatsRegistry()
+        assert stats.counter("a.b") is stats.counter("a.b")
+
+    def test_value_of_untouched_counter(self):
+        assert StatsRegistry().value("never") == 0
+
+    def test_sum_matching(self):
+        stats = StatsRegistry()
+        stats.counter("cpu0.sc_fail").inc(2)
+        stats.counter("cpu1.sc_fail").inc(3)
+        stats.counter("cpu1.sc_ok").inc(7)
+        assert stats.sum_matching(".sc_fail") == 5
+
+    def test_snapshot(self):
+        stats = StatsRegistry()
+        stats.counter("a").inc()
+        stats.counter("b").inc(2)
+        assert stats.snapshot() == {"a": 1, "b": 2}
+
+    def test_counters_iterates_sorted(self):
+        stats = StatsRegistry()
+        stats.counter("z").inc()
+        stats.counter("a").inc()
+        assert [name for name, _ in stats.counters()] == ["a", "z"]
+
+    def test_histogram_registry(self):
+        stats = StatsRegistry()
+        stats.histogram("lat").add(3)
+        stats.histogram("lat").add(5)
+        (h,) = list(stats.histograms())
+        assert h.count == 2

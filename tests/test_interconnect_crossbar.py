@@ -1,0 +1,83 @@
+"""Unit tests for the crossbar data network."""
+
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.engine.stats import StatsRegistry
+from repro.interconnect.messages import DataKind, DataMessage, GrantState
+
+
+def make_crossbar():
+    sim = Simulator()
+    stats = StatsRegistry()
+    from repro.interconnect.crossbar import Crossbar
+
+    xbar = Crossbar(sim, stats, line_transfer_cycles=40, word_transfer_cycles=10)
+    received = []
+    for node in range(4):
+        xbar.attach(node, lambda msg, node=node: received.append((node, msg, sim.now)))
+    return sim, xbar, received
+
+
+def line_msg(src, dst):
+    return DataMessage(
+        DataKind.LINE, 0x100, src, dst, data=[0] * 16, grant=GrantState.EXCLUSIVE
+    )
+
+
+def tearoff_msg(src, dst):
+    return DataMessage(DataKind.TEAROFF, 0x100, src, dst, data=[0] * 16)
+
+
+class TestDelivery:
+    def test_line_transfer_latency(self):
+        sim, xbar, received = make_crossbar()
+        xbar.send(line_msg(0, 1))
+        sim.run()
+        assert received[0][2] == 40
+
+    def test_tearoff_is_cheaper(self):
+        sim, xbar, received = make_crossbar()
+        xbar.send(tearoff_msg(0, 1))
+        sim.run()
+        assert received[0][2] == 10
+
+    def test_unattached_destination_rejected(self):
+        sim, xbar, _ = make_crossbar()
+        with pytest.raises(KeyError):
+            xbar.send(line_msg(0, 9))
+
+
+class TestPortContention:
+    def test_same_source_serializes(self):
+        sim, xbar, received = make_crossbar()
+        xbar.send(line_msg(0, 1))
+        xbar.send(line_msg(0, 2))
+        sim.run()
+        times = sorted(t for _, _, t in received)
+        assert times == [40, 80]
+
+    def test_distinct_sources_overlap(self):
+        sim, xbar, received = make_crossbar()
+        xbar.send(line_msg(0, 2))
+        xbar.send(line_msg(1, 3))
+        sim.run()
+        times = [t for _, _, t in received]
+        assert times == [40, 40]
+
+    def test_port_frees_after_idle(self):
+        sim, xbar, received = make_crossbar()
+        xbar.send(line_msg(0, 1))
+        sim.run()
+        sim.schedule(60, lambda: xbar.send(line_msg(0, 2)))
+        sim.run()
+        assert received[-1][2] == 100 + 40
+
+    def test_stats(self):
+        sim, xbar, _ = make_crossbar()
+        xbar.send(line_msg(0, 1))
+        xbar.send(tearoff_msg(1, 2))
+        sim.run()
+        assert xbar.stats.value("xbar.messages") == 2
+        assert xbar.stats.value("xbar.line") == 1
+        assert xbar.stats.value("xbar.tearoff") == 1

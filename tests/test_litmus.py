@@ -1,0 +1,171 @@
+"""Sequential-consistency litmus tests (paper Table 1: SC model).
+
+The simulated processor is in-order with blocking memory operations and
+the bus serializes coherence globally, so the classic litmus outcomes
+that SC forbids must never appear — under *any* protocol policy and any
+timing.  Each litmus runs across a grid of relative timings to probe
+different interleavings (the simulator is deterministic, so the sweep
+stands in for repetition).
+"""
+
+import pytest
+
+from conftest import build_system, run_programs
+from repro.cpu.ops import Compute, Read, Write
+
+POLICIES = ["baseline", "aggressive", "delayed", "iqolb", "qolb"]
+STAGGERS = [0, 3, 17, 64, 151, 402]
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+class TestStoreBuffering:
+    """SB: both threads store then load the other's flag.
+
+    SC forbids (r0, r1) == (0, 0): some store is globally first and the
+    other thread's load must see it.
+    """
+
+    @pytest.mark.parametrize("stagger", STAGGERS)
+    def test_sb_forbidden_outcome(self, policy, stagger):
+        system = build_system(2, policy)
+        x = system.layout.alloc_line()
+        y = system.layout.alloc_line()
+        results = {}
+
+        def thread0():
+            yield Write(x, 1)
+            results["r0"] = yield Read(y)
+
+        def thread1():
+            yield Compute(stagger)
+            yield Write(y, 1)
+            results["r1"] = yield Read(x)
+
+        run_programs(system, [thread0(), thread1()])
+        assert (results["r0"], results["r1"]) != (0, 0)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+class TestMessagePassing:
+    """MP: producer writes data then flag; consumer polls flag then reads
+    data.  SC forbids seeing the flag without the data."""
+
+    @pytest.mark.parametrize("stagger", STAGGERS)
+    def test_mp_data_visible_with_flag(self, policy, stagger):
+        system = build_system(2, policy)
+        data = system.layout.alloc_line()
+        flag = system.layout.alloc_line()
+        seen = {}
+
+        def producer():
+            yield Compute(stagger)
+            yield Write(data, 42)
+            yield Write(flag, 1)
+
+        def consumer():
+            while True:
+                ready = yield Read(flag)
+                if ready:
+                    break
+                yield Compute(9)
+            seen["data"] = yield Read(data)
+
+        run_programs(system, [producer(), consumer()])
+        assert seen["data"] == 42
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+class TestLoadBuffering:
+    """LB: each thread loads the other's variable then stores its own.
+
+    SC forbids (1, 1): a cycle where both loads see the other's later
+    store."""
+
+    @pytest.mark.parametrize("stagger", STAGGERS[:4])
+    def test_lb_forbidden_outcome(self, policy, stagger):
+        system = build_system(2, policy)
+        x = system.layout.alloc_line()
+        y = system.layout.alloc_line()
+        results = {}
+
+        def thread0():
+            results["r0"] = yield Read(x)
+            yield Write(y, 1)
+
+        def thread1():
+            yield Compute(stagger)
+            results["r1"] = yield Read(y)
+            yield Write(x, 1)
+
+        run_programs(system, [thread0(), thread1()])
+        assert (results["r0"], results["r1"]) != (1, 1)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+class TestCoherenceOrder:
+    """CoRR: two reads of one location by the same thread never observe
+    values moving backwards against the write order."""
+
+    @pytest.mark.parametrize("stagger", STAGGERS[:4])
+    def test_reads_never_go_backwards(self, policy, stagger):
+        system = build_system(2, policy)
+        x = system.layout.alloc_line()
+        observations = []
+
+        def writer():
+            for value in range(1, 8):
+                yield Write(x, value)
+                yield Compute(37)
+
+        def reader():
+            yield Compute(stagger)
+            for _ in range(12):
+                observations.append((yield Read(x)))
+                yield Compute(23)
+
+        run_programs(system, [writer(), reader()])
+        assert observations == sorted(observations)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+class TestIriw:
+    """IRIW: two writers to distinct locations, two readers reading them
+    in opposite orders.  SC forbids the readers disagreeing about the
+    write order: (r1,r2,r3,r4) == (1,0,1,0)."""
+
+    @pytest.mark.parametrize("stagger", [0, 11, 53])
+    def test_iriw_forbidden_outcome(self, policy, stagger):
+        system = build_system(4, policy)
+        x = system.layout.alloc_line()
+        y = system.layout.alloc_line()
+        out = {}
+
+        def writer(addr, delay):
+            def program():
+                yield Compute(delay)
+                yield Write(addr, 1)
+            return program()
+
+        def reader(first, second, key, delay):
+            def program():
+                yield Compute(delay)
+                out[key + "a"] = yield Read(first)
+                out[key + "b"] = yield Read(second)
+            return program()
+
+        run_programs(
+            system,
+            [
+                writer(x, 0),
+                writer(y, stagger),
+                reader(x, y, "r0", stagger // 2),
+                reader(y, x, "r1", stagger // 3),
+            ],
+        )
+        forbidden = (
+            out["r0a"] == 1
+            and out["r0b"] == 0
+            and out["r1a"] == 1
+            and out["r1b"] == 0
+        )
+        assert not forbidden

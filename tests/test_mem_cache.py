@@ -1,0 +1,136 @@
+"""Unit tests for the set-associative cache array."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.cache import CacheArray
+from repro.mem.line import CacheLine, State
+
+
+def line_at(addr, state=State.SHARED):
+    return CacheLine(addr, state, [0] * 16)
+
+
+class TestConstruction:
+    def test_from_size(self):
+        array = CacheArray.from_size(64 * 1024, 2, 64)
+        assert array.n_sets == 512
+        assert array.assoc == 2
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheArray(3, 2, 64)
+
+    def test_rejects_bad_assoc(self):
+        with pytest.raises(ValueError):
+            CacheArray(4, 0, 64)
+
+
+class TestLookupInsert:
+    def test_miss_returns_none(self):
+        array = CacheArray(4, 2, 64)
+        assert array.lookup(0x100) is None
+
+    def test_insert_then_hit(self):
+        array = CacheArray(4, 2, 64)
+        line = line_at(0x100)
+        array.insert(line)
+        assert array.lookup(0x100) is line
+
+    def test_insert_replaces_same_address(self):
+        array = CacheArray(4, 2, 64)
+        array.insert(line_at(0x100))
+        newer = line_at(0x100, State.MODIFIED)
+        array.insert(newer)
+        assert array.lookup(0x100) is newer
+        assert array.resident_count() == 1
+
+    def test_full_set_insert_raises(self):
+        array = CacheArray(1, 2, 64)
+        array.insert(line_at(0x000))
+        array.insert(line_at(0x040))
+        with pytest.raises(RuntimeError):
+            array.insert(line_at(0x080))
+
+    def test_force_insert_overflows(self):
+        array = CacheArray(1, 2, 64)
+        array.insert(line_at(0x000))
+        array.insert(line_at(0x040))
+        array.insert(line_at(0x080), force=True)
+        assert array.resident_count() == 3
+
+    def test_remove(self):
+        array = CacheArray(4, 2, 64)
+        array.insert(line_at(0x100))
+        removed = array.remove(0x100)
+        assert removed is not None
+        assert array.lookup(0x100) is None
+        assert array.remove(0x100) is None
+
+
+class TestVictims:
+    def test_needs_eviction(self):
+        array = CacheArray(1, 2, 64)
+        array.insert(line_at(0x000))
+        assert not array.needs_eviction(0x040)
+        array.insert(line_at(0x040))
+        assert array.needs_eviction(0x080)
+        assert not array.needs_eviction(0x000)  # already resident
+
+    def test_lru_victim(self):
+        array = CacheArray(1, 2, 64)
+        array.insert(line_at(0x000))
+        array.insert(line_at(0x040))
+        array.lookup(0x000)  # touch -> 0x040 becomes LRU
+        victim = array.select_victim(0x080)
+        assert victim.addr == 0x040
+
+    def test_pinned_lines_never_victims(self):
+        array = CacheArray(1, 2, 64)
+        pinned = line_at(0x000)
+        pinned.pinned = True
+        array.insert(pinned)
+        other = line_at(0x040)
+        array.insert(other)
+        assert array.select_victim(0x080) is other
+
+    def test_all_pinned_returns_none(self):
+        array = CacheArray(1, 2, 64)
+        for addr in (0x000, 0x040):
+            line = line_at(addr)
+            line.pinned = True
+            array.insert(line)
+        assert array.select_victim(0x080) is None
+
+    def test_untouched_lookup_does_not_promote(self):
+        array = CacheArray(1, 2, 64)
+        array.insert(line_at(0x000))
+        array.insert(line_at(0x040))
+        array.lookup(0x000, touch=False)
+        victim = array.select_victim(0x080)
+        assert victim.addr == 0x000  # still LRU despite the peek
+
+
+class TestLruModel:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=60))
+    def test_matches_reference_lru(self, accesses):
+        """Single-set array behaves exactly like a textbook LRU list."""
+        assoc = 4
+        array = CacheArray(1, assoc, 64)
+        model = []  # most recent last
+        for index in accesses:
+            addr = index * 64
+            hit = array.lookup(addr) is not None
+            assert hit == (addr in model)
+            if hit:
+                model.remove(addr)
+            else:
+                if len(model) >= assoc:
+                    victim = array.select_victim(addr)
+                    assert victim.addr == model[0]
+                    array.remove(victim.addr)
+                    model.pop(0)
+                array.insert(line_at(addr))
+            model.append(addr)
+            assert array.resident_count() == len(model)

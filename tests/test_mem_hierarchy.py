@@ -1,0 +1,129 @@
+"""Unit tests for the two-level cache hierarchy."""
+
+import pytest
+
+from repro.engine.stats import StatsRegistry
+from repro.mem.cache import CacheArray
+from repro.mem.hierarchy import NodeCacheHierarchy
+from repro.mem.line import CacheLine, State
+
+
+def make_hierarchy(l1_sets=2, l1_assoc=2, l2_sets=4, l2_assoc=2):
+    stats = StatsRegistry()
+    l1 = CacheArray(l1_sets, l1_assoc, 64)
+    l2 = CacheArray(l2_sets, l2_assoc, 64)
+    return NodeCacheHierarchy(0, l1, l2, 1, 6, stats), stats
+
+
+def line_at(addr, state=State.EXCLUSIVE):
+    return CacheLine(addr, state, [0] * 16)
+
+
+class TestLookupTiming:
+    def test_miss_latency_is_probe_path(self):
+        hierarchy, _ = make_hierarchy()
+        line, latency = hierarchy.lookup(0x100)
+        assert line is None
+        assert latency == 7  # L1 probe + L2 probe
+
+    def test_l1_hit_after_install(self):
+        hierarchy, _ = make_hierarchy()
+        hierarchy.install(line_at(0x100))
+        line, latency = hierarchy.lookup(0x100)
+        assert line is not None
+        assert latency == 1
+
+    def test_l2_hit_refills_l1(self):
+        hierarchy, stats = make_hierarchy()
+        hierarchy.install(line_at(0x100))
+        hierarchy.l1.remove(0x100)  # silent L1 eviction
+        line, latency = hierarchy.lookup(0x100)
+        assert latency == 7
+        # refilled: second access is an L1 hit
+        _, latency2 = hierarchy.lookup(0x100)
+        assert latency2 == 1
+
+    def test_hit_counters(self):
+        hierarchy, stats = make_hierarchy()
+        hierarchy.install(line_at(0x100))
+        hierarchy.lookup(0x100)
+        hierarchy.lookup(0x999000)
+        assert stats.value("cache0.l1_hits") == 1
+        assert stats.value("cache0.misses") == 1
+
+
+class TestSharedLineObjects:
+    def test_l1_and_l2_share_objects(self):
+        hierarchy, _ = make_hierarchy()
+        line = line_at(0x100)
+        hierarchy.install(line)
+        assert hierarchy.l1.lookup(0x100, touch=False) is line
+        assert hierarchy.l2.lookup(0x100, touch=False) is line
+
+    def test_state_change_visible_everywhere(self):
+        hierarchy, _ = make_hierarchy()
+        line = line_at(0x100)
+        hierarchy.install(line)
+        line.state = State.MODIFIED
+        assert hierarchy.l1.lookup(0x100, touch=False).state is State.MODIFIED
+
+
+class TestInclusion:
+    def test_l2_eviction_drops_l1_copy(self):
+        hierarchy, _ = make_hierarchy(l2_sets=1, l2_assoc=2)
+        a, b, c = 0x000, 0x040, 0x080
+        hierarchy.install(line_at(a))
+        hierarchy.install(line_at(b))
+        (victim,) = hierarchy.install(line_at(c))
+        assert hierarchy.l1.lookup(victim.addr, touch=False) is None
+        assert hierarchy.l2.lookup(victim.addr, touch=False) is None
+
+    def test_overflowed_set_drains_multiple_victims(self):
+        hierarchy, _ = make_hierarchy(l2_sets=1, l2_assoc=2)
+        pinned_lines = []
+        for addr in (0x000, 0x040):
+            line = line_at(addr)
+            line.pinned = True
+            pinned_lines.append(line)
+            hierarchy.install(line)
+        hierarchy.install(line_at(0x080))  # forced overflow (3 resident)
+        for line in pinned_lines:
+            line.pinned = False
+        victims = hierarchy.install(line_at(0x0C0))
+        assert len(victims) == 2  # drained back to capacity
+        assert hierarchy.l2.resident_count() == 2
+
+    def test_drop_removes_both_levels(self):
+        hierarchy, _ = make_hierarchy()
+        hierarchy.install(line_at(0x100))
+        hierarchy.drop(0x100)
+        assert hierarchy.peek(0x100) is None
+        assert hierarchy.l1.lookup(0x100, touch=False) is None
+
+    def test_pinned_set_force_installs(self):
+        hierarchy, stats = make_hierarchy(l2_sets=1, l2_assoc=2)
+        for addr in (0x000, 0x040):
+            line = line_at(addr)
+            line.pinned = True
+            hierarchy.install(line)
+        victims = hierarchy.install(line_at(0x080))
+        assert victims == []  # nothing evictable; overflowed instead
+        assert stats.value("cache0.pinned_overflows") == 1
+        assert hierarchy.peek(0x080) is not None
+
+
+class TestPeek:
+    def test_peek_finds_valid_lines(self):
+        hierarchy, _ = make_hierarchy()
+        hierarchy.install(line_at(0x100))
+        assert hierarchy.peek(0x100) is not None
+
+    def test_peek_ignores_missing(self):
+        hierarchy, _ = make_hierarchy()
+        assert hierarchy.peek(0x100) is None
+
+    def test_state_of(self):
+        hierarchy, _ = make_hierarchy()
+        assert hierarchy.state_of(0x100) is State.INVALID
+        hierarchy.install(line_at(0x100, State.OWNED))
+        assert hierarchy.state_of(0x100) is State.OWNED

@@ -1,0 +1,68 @@
+"""Unit tests for cache-line state predicates."""
+
+import pytest
+
+from repro.mem.line import (
+    DIRTY_STATES,
+    OWNER_STATES,
+    READABLE_STATES,
+    WRITABLE_STATES,
+    CacheLine,
+    State,
+)
+
+
+def make(state):
+    return CacheLine(0x100, state, [0] * 16)
+
+
+class TestStateSets:
+    def test_writable_states(self):
+        assert WRITABLE_STATES == {State.EXCLUSIVE, State.MODIFIED}
+
+    def test_owner_states(self):
+        assert OWNER_STATES == {State.EXCLUSIVE, State.MODIFIED, State.OWNED}
+
+    def test_dirty_states(self):
+        assert DIRTY_STATES == {State.MODIFIED, State.OWNED}
+
+    def test_tearoff_is_readable_not_owner(self):
+        assert State.TEAROFF in READABLE_STATES
+        assert State.TEAROFF not in OWNER_STATES
+        assert State.TEAROFF not in WRITABLE_STATES
+
+
+class TestPredicates:
+    @pytest.mark.parametrize("state", list(State))
+    def test_valid_iff_not_invalid(self, state):
+        assert make(state).valid == (state is not State.INVALID)
+
+    def test_modified_line(self):
+        line = make(State.MODIFIED)
+        assert line.writable and line.readable and line.is_owner and line.dirty
+
+    def test_shared_line(self):
+        line = make(State.SHARED)
+        assert line.readable
+        assert not line.writable and not line.is_owner and not line.dirty
+
+    def test_owned_line(self):
+        line = make(State.OWNED)
+        assert line.readable and line.is_owner and line.dirty
+        assert not line.writable
+
+    def test_exclusive_line_is_clean(self):
+        line = make(State.EXCLUSIVE)
+        assert line.writable and line.is_owner
+        assert not line.dirty
+
+
+class TestData:
+    def test_read_write_words(self):
+        line = make(State.MODIFIED)
+        line.write_word(3, 99)
+        assert line.read_word(3) == 99
+        assert line.read_word(0) == 0
+
+    def test_pinned_defaults_false(self):
+        assert make(State.MODIFIED).pinned is False

@@ -1,0 +1,68 @@
+"""Unit tests for the DRAM model."""
+
+from hypothesis import given, strategies as st
+
+from repro.mem.address import AddressMap
+from repro.mem.mainmemory import MainMemory
+
+
+def make_memory(line_bytes=64):
+    return MainMemory(AddressMap(line_bytes))
+
+
+class TestTiming:
+    def test_table1_line_latency(self):
+        # 40 cycles first 8-byte chunk + 7 * 4 for the rest of a 64B line.
+        assert make_memory().line_latency() == 68
+
+    def test_latency_scales_with_line_size(self):
+        memory = MainMemory(AddressMap(128))
+        assert memory.line_latency() == 40 + 15 * 4
+
+
+class TestData:
+    def test_uninitialised_reads_zero(self):
+        memory = make_memory()
+        assert memory.read_word(0x1234 & ~3) == 0
+        assert memory.read_line(0x100) == [0] * 16
+
+    def test_word_roundtrip(self):
+        memory = make_memory()
+        memory.write_word(0x104, 77)
+        assert memory.read_word(0x104) == 77
+
+    def test_line_roundtrip(self):
+        memory = make_memory()
+        data = list(range(16))
+        memory.write_line(0x100, data)
+        assert memory.read_line(0x100) == data
+        # read returns a copy
+        got = memory.read_line(0x100)
+        got[0] = 999
+        assert memory.read_word(0x100) == 0
+
+    def test_line_write_wrong_size_rejected(self):
+        memory = make_memory()
+        try:
+            memory.write_line(0x100, [1, 2, 3])
+        except ValueError:
+            return
+        raise AssertionError("expected ValueError")
+
+    def test_word_and_line_views_consistent(self):
+        memory = make_memory()
+        memory.write_word(0x108, 5)
+        line = memory.read_line(0x100)
+        assert line[2] == 5
+
+    @given(st.dictionaries(
+        st.integers(min_value=0, max_value=255).map(lambda i: i * 4),
+        st.integers(min_value=-2**31, max_value=2**31 - 1),
+        max_size=30,
+    ))
+    def test_many_word_writes(self, writes):
+        memory = make_memory()
+        for addr, value in writes.items():
+            memory.write_word(addr, value)
+        for addr, value in writes.items():
+            assert memory.read_word(addr) == value

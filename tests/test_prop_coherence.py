@@ -1,0 +1,184 @@
+"""Property-based system tests: coherence and atomicity invariants.
+
+Hypothesis generates random concurrent programs (stores, loads, atomic
+RMWs, random timing) over a small set of contended lines and checks,
+for every protocol policy, the invariants that must hold regardless of
+interleaving:
+
+* **atomicity** — LL/SC increments across all threads sum exactly;
+* **coherence** — after quiescence, every line has at most one owner,
+  and all shared copies agree with the owner's data;
+* **store visibility** — the final coherent value of a word written by
+  exactly one thread is that thread's last write.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from conftest import small_config
+from repro import System
+from repro.cpu.ops import LL, SC, Compute, Read, Swap, Write
+from repro.mem.line import State
+
+POLICIES = [
+    "baseline",
+    "aggressive",
+    "delayed",
+    "delayed+retention",
+    "iqolb",
+    "iqolb+retention",
+    "qolb",
+]
+
+prop_settings = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def quiesce_check(system, lines):
+    """SWMR + data-value invariants at end of run."""
+    for line_addr in lines:
+        owners = []
+        sharers = []
+        for controller in system.controllers:
+            line = controller.hierarchy.peek(line_addr)
+            if line is None or line.state is State.TEAROFF:
+                continue
+            if line.is_owner:
+                owners.append((controller.node_id, line))
+            elif line.state is State.SHARED:
+                sharers.append((controller.node_id, line))
+        assert len(owners) <= 1, f"two owners for {line_addr:#x}: {owners}"
+        if owners:
+            owner_line = owners[0][1]
+            reference = owner_line.data
+            # M/E exclude any other copies entirely.
+            if owner_line.state in (State.MODIFIED, State.EXCLUSIVE):
+                assert not sharers, (
+                    f"{owner_line.state} owner plus sharers on {line_addr:#x}"
+                )
+        else:
+            reference = system.memory.read_line(line_addr)
+        for node, line in sharers:
+            assert line.data == reference, (
+                f"P{node} shared copy of {line_addr:#x} diverges"
+            )
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+class TestAtomicIncrements:
+    @prop_settings
+    @given(
+        data=st.data(),
+    )
+    def test_increment_sum_exact(self, policy, data):
+        n = data.draw(st.integers(min_value=2, max_value=4), label="threads")
+        iters = data.draw(st.integers(min_value=1, max_value=8), label="iters")
+        thinks = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=120),
+                min_size=n,
+                max_size=n,
+            ),
+            label="thinks",
+        )
+        system = System(small_config(n, policy))
+        counter = system.layout.alloc_line()
+
+        def worker(think):
+            def program():
+                for _ in range(iters):
+                    while True:
+                        value = yield LL(counter, pc=0x77)
+                        ok = yield SC(counter, value + 1, pc=0x77)
+                        if ok:
+                            break
+                        yield Compute(3)
+                    yield Compute(think)
+            return program()
+
+        for node in range(n):
+            system.load_program(node, worker(thinks[node]))
+        system.run()
+        assert system.read_word(counter) == n * iters
+        quiesce_check(system, [system.amap.line_addr(counter)])
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+class TestRandomPrograms:
+    @prop_settings
+    @given(data=st.data())
+    def test_coherence_invariants_hold(self, policy, data):
+        n = data.draw(st.integers(min_value=2, max_value=3), label="threads")
+        n_lines = 3
+        system = System(small_config(n, policy))
+        lines = [system.layout.alloc_line() for _ in range(n_lines)]
+        last_writer_value = {}
+
+        op_strategy = st.tuples(
+            st.sampled_from(["read", "write", "rmw", "swap", "compute"]),
+            st.integers(min_value=0, max_value=n_lines - 1),
+            st.integers(min_value=1, max_value=60),
+        )
+        scripts = [
+            data.draw(st.lists(op_strategy, min_size=1, max_size=12),
+                      label=f"script{t}")
+            for t in range(n)
+        ]
+
+        def worker(tid, script):
+            def program():
+                for i, (kind, line_idx, arg) in enumerate(script):
+                    addr = lines[line_idx]
+                    if kind == "read":
+                        yield Read(addr)
+                    elif kind == "write":
+                        yield Write(addr, tid * 1000 + i)
+                    elif kind == "swap":
+                        yield Swap(addr, tid * 1000 + 500 + i)
+                    elif kind == "rmw":
+                        while True:
+                            value = yield LL(addr, pc=0x88)
+                            ok = yield SC(addr, value + 1, pc=0x88)
+                            if ok:
+                                break
+                            yield Compute(3)
+                    else:
+                        yield Compute(arg)
+            return program()
+
+        for node in range(n):
+            system.load_program(node, worker(node, scripts[node]))
+        system.run()
+        quiesce_check(system, lines)
+
+    @prop_settings
+    @given(data=st.data())
+    def test_single_writer_final_value(self, policy, data):
+        """A word written by one thread only ends at its last write."""
+        n = data.draw(st.integers(min_value=2, max_value=3), label="threads")
+        writes = data.draw(
+            st.lists(st.integers(min_value=1, max_value=999),
+                     min_size=1, max_size=8),
+            label="writes",
+        )
+        system = System(small_config(n, policy))
+        target = system.layout.alloc_line()
+
+        def writer():
+            for value in writes:
+                yield Write(target, value)
+                yield Compute(11)
+
+        def reader():
+            for _ in range(6):
+                yield Read(target)
+                yield Compute(17)
+
+        system.load_program(0, writer())
+        for node in range(1, n):
+            system.load_program(node, reader())
+        system.run()
+        assert system.read_word(target) == writes[-1]

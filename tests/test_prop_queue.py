@@ -1,0 +1,132 @@
+"""Property-based tests for the distributed queue.
+
+The paper's §3.2 ordering claim — "the line will be passed in a writable
+state from one processor to the next, in precisely the order in which
+the original requests occurred" — plus liveness under random timing and
+under cache pressure (eviction hand-offs).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from conftest import small_config
+from repro import System
+from repro.cpu.ops import LL, SC, Compute, Read, Write
+from repro.sync import TTSLock
+
+prop_settings = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestQueueOrdering:
+    @prop_settings
+    @given(
+        staggers=st.lists(
+            st.integers(min_value=0, max_value=400), min_size=3, max_size=5
+        )
+    )
+    def test_delayed_grants_follow_request_order(self, staggers):
+        """With well-separated arrivals, Fetch&Inc grants under the
+        delayed-response scheme follow LPRFO bus order."""
+        n = len(staggers)
+        # Separate the arrivals enough that bus order == stagger order.
+        arrivals = [1 + s + i * 450 for i, s in enumerate(sorted(staggers))]
+        system = System(small_config(n, "delayed"))
+        addr = system.layout.alloc_line()
+        grants = []
+
+        def worker(tid, arrive):
+            def program():
+                yield Compute(arrive)
+                while True:
+                    value = yield LL(addr, pc=1)
+                    yield Compute(900)  # hold long enough to queue all
+                    ok = yield SC(addr, value + 1, pc=1)
+                    if ok:
+                        break
+                grants.append(tid)
+            return program()
+
+        for tid in range(n):
+            system.load_program(tid, worker(tid, arrivals[tid]))
+        system.run()
+        assert system.read_word(addr) == n
+        assert grants == list(range(n))  # request order == grant order
+
+    @prop_settings
+    @given(
+        think=st.integers(min_value=0, max_value=150),
+        iters=st.integers(min_value=2, max_value=6),
+    )
+    def test_iqolb_lock_progress_random_timing(self, think, iters):
+        """Random think times: every thread always finishes, mutual
+        exclusion always holds."""
+        n = 4
+        system = System(small_config(n, "iqolb"))
+        lock = TTSLock(system.layout.alloc_line())
+        token = system.layout.alloc_line()
+
+        def worker(tid):
+            def program():
+                yield Compute(1 + tid * 13)
+                for _ in range(iters):
+                    yield from lock.acquire()
+                    value = yield Read(token)
+                    yield Write(token, value + 1)
+                    yield from lock.release()
+                    yield Compute(think)
+            return program()
+
+        for tid in range(n):
+            system.load_program(tid, worker(tid))
+        system.run()
+        assert system.read_word(token) == n * iters
+
+
+class TestQueueUnderCachePressure:
+    @prop_settings
+    @given(
+        policy=st.sampled_from(["delayed", "iqolb", "iqolb+retention", "qolb"]),
+        filler_lines=st.integers(min_value=4, max_value=10),
+    )
+    def test_tiny_caches_force_evictions_yet_progress(self, policy, filler_lines):
+        """Eviction hand-offs (eviction == time-out, §3.3) keep the
+        queue live even when lock lines get squeezed out."""
+        n = 3
+        system = System(
+            small_config(
+                n,
+                policy,
+                l1_size_bytes=2 * 64,
+                l1_assoc=1,
+                l2_size_bytes=4 * 64,
+                l2_assoc=1,
+            )
+        )
+        from repro.sync import QolbLock
+
+        lock_cls = QolbLock if policy == "qolb" else TTSLock
+        lock = lock_cls(system.layout.alloc_line())
+        token = system.layout.alloc_line()
+        fillers = [system.layout.alloc_line() for _ in range(filler_lines)]
+
+        def worker(tid):
+            def program():
+                for i in range(4):
+                    yield from lock.acquire()
+                    value = yield Read(token)
+                    yield Write(token, value + 1)
+                    # Cache-thrash inside the critical section.
+                    for addr in fillers:
+                        yield Write(addr, tid * 100 + i)
+                    yield from lock.release()
+                    yield Compute(40)
+            return program()
+
+        for tid in range(n):
+            system.load_program(tid, worker(tid))
+        system.run()
+        assert system.read_word(token) == n * 4

@@ -1,0 +1,117 @@
+"""Integration tests for the baseline and aggressive-baseline schemes
+(paper §3.1, Figure 2)."""
+
+import pytest
+
+from conftest import build_system, run_programs
+from repro.cpu.ops import LL, SC, Compute, Read, Write
+
+
+def rmw_loop(addr, iters, pc=0xB1, window=6):
+    def program():
+        for _ in range(iters):
+            while True:
+                value = yield LL(addr, pc=pc)
+                yield Compute(window)
+                ok = yield SC(addr, value + 1, pc=pc)
+                if ok:
+                    break
+                yield Compute(5)
+            yield Compute(15)
+
+    return program()
+
+
+class TestBaseline:
+    def test_two_transactions_per_contended_rmw(self):
+        system = build_system(2, "baseline")
+        addr = system.layout.alloc_line()
+        run_programs(system, [rmw_loop(addr, 8), rmw_loop(addr, 8)])
+        assert system.read_word(addr) == 16
+        updates = 16
+        txns = system.stats.value("bus.transactions")
+        assert txns >= 1.5 * updates  # the "2 network transactions" cost
+
+    def test_contention_forces_retries(self):
+        system = build_system(4, "baseline")
+        addr = system.layout.alloc_line()
+        run_programs(system, [rmw_loop(addr, 8) for _ in range(4)])
+        assert system.read_word(addr) == 32
+        assert system.total("sc_fail") > 0
+
+    def test_uncontended_ll_fetches_shared_then_upgrades(self):
+        system = build_system(1, "baseline")
+        addr = system.layout.alloc_line()
+        run_programs(system, [rmw_loop(addr, 1)])
+        assert system.stats.value("bus.GetS") == 1
+        # first SC on an E line needs no upgrade (memory granted E)
+        assert system.stats.value("bus.Upgrade") == 0
+
+    def test_never_defers_never_tears_off(self):
+        system = build_system(4, "baseline")
+        addr = system.layout.alloc_line()
+        run_programs(system, [rmw_loop(addr, 6) for _ in range(4)])
+        assert system.total("deferrals") == 0
+        assert system.total("tearoffs_sent") == 0
+        assert system.total("handoffs") == 0
+
+
+class TestAggressiveBaseline:
+    def test_single_transaction_when_uncontended(self):
+        system = build_system(1, "aggressive")
+        addr = system.layout.alloc_line()
+        run_programs(system, [rmw_loop(addr, 5)])
+        # First LL misses with a GetX; later LLs hit the retained M line.
+        assert system.stats.value("bus.transactions") == 1
+        assert system.total("sc_fail") == 0
+
+    def test_correct_under_contention(self):
+        system = build_system(4, "aggressive")
+        addr = system.layout.alloc_line()
+        run_programs(system, [rmw_loop(addr, 8) for _ in range(4)])
+        assert system.read_word(addr) == 32
+
+    def test_ll_issues_rfo_not_gets(self):
+        system = build_system(2, "aggressive")
+        addr = system.layout.alloc_line()
+        run_programs(system, [rmw_loop(addr, 4), rmw_loop(addr, 4)])
+        assert system.stats.value("bus.GetX") > 0
+        assert system.stats.value("bus.GetS") == 0
+
+    def test_contention_can_steal_lines_between_ll_and_sc(self):
+        """The livelock exposure (paper Figure 1, frame 2): with wide
+        LL->SC windows peers steal each other's exclusive copies.  Two
+        legal outcomes: the run completes with failed SCs, or it
+        livelocks outright and the runaway guard trips — "livelock can
+        occur if there is any contention"."""
+        from repro.engine.simulator import SimulationError
+
+        system = build_system(4, "aggressive", max_cycles=2_000_000)
+        addr = system.layout.alloc_line()
+        try:
+            run_programs(
+                system,
+                [rmw_loop(addr, 6, window=60) for _ in range(4)],
+            )
+        except SimulationError:
+            # Genuine livelock, detected by the runaway guard; the SCs
+            # must have been failing the whole time.
+            assert system.total("sc_fail") > 0
+            return
+        assert system.read_word(addr) == 24
+        assert system.total("sc_fail") > 0
+
+
+class TestBaselineVsAggressiveTraffic:
+    def test_aggressive_halves_uncontended_traffic(self):
+        def run(policy):
+            system = build_system(2, policy)
+            addr_a = system.layout.alloc_line()
+            addr_b = system.layout.alloc_line()
+            # Disjoint counters: no contention, pure transaction count.
+            run_programs(
+                system, [rmw_loop(addr_a, 6), rmw_loop(addr_b, 6)]
+            )
+            return system.stats.value("bus.transactions")
+
+        assert run("aggressive") <= run("baseline")

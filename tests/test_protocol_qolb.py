@@ -1,0 +1,93 @@
+"""Integration tests for explicit QOLB (paper §2)."""
+
+import pytest
+
+from conftest import build_system, run_programs
+from repro.cpu.ops import Compute, Read, Write
+from repro.sync import QolbLock
+
+
+def lock_workers(system, lock, token, n, iters, cs=30, think=60):
+    def program():
+        for _ in range(iters):
+            yield from lock.acquire()
+            value = yield Read(token)
+            yield Compute(cs)
+            yield Write(token, value + 1)
+            yield from lock.release()
+            yield Compute(think)
+
+    run_programs(system, [program() for _ in range(n)])
+
+
+class TestQolbLocking:
+    def test_mutual_exclusion(self):
+        system = build_system(4, "qolb")
+        lock = QolbLock(system.layout.alloc_line())
+        token = system.layout.alloc_line()
+        lock_workers(system, lock, token, 4, 8)
+        assert system.read_word(token) == 32
+
+    def test_single_enqueue_per_contended_acquire(self):
+        system = build_system(4, "qolb")
+        lock = QolbLock(system.layout.alloc_line())
+        token = system.layout.alloc_line()
+        lock_workers(system, lock, token, 4, 8)
+        acquires = 4 * 8
+        assert system.stats.value("bus.QolbEnq") <= acquires + 4
+
+    def test_deqolb_hands_off_directly(self):
+        system = build_system(3, "qolb")
+        lock = QolbLock(system.layout.alloc_line())
+        token = system.layout.alloc_line()
+        lock_workers(system, lock, token, 3, 6)
+        assert system.total("handoff_deqolb") > 0
+        assert system.total("tearoffs_sent") > 0
+
+    def test_waiters_spin_on_shadow_copies(self):
+        """While queued, EnQOLB retries hit the local tear-off (shadow)."""
+        system = build_system(3, "qolb")
+        lock = QolbLock(system.layout.alloc_line())
+        token = system.layout.alloc_line()
+        lock_workers(system, lock, token, 3, 8, cs=200)
+        # Long CSes mean plenty of spinning; still ~1 bus op per acquire.
+        assert system.stats.value("bus.QolbEnq") <= 3 * 8 + 3
+
+    def test_uncontended_holds_line(self):
+        system = build_system(2, "qolb")
+        lock = QolbLock(system.layout.alloc_line())
+
+        def solo():
+            for _ in range(8):
+                yield from lock.acquire()
+                yield Compute(10)
+                yield from lock.release()
+
+        system.load_program(0, solo())
+        system.load_program(1, iter([]))
+        system.run()
+        assert system.stats.value("bus.QolbEnq") == 1
+
+    def test_no_timeouts_in_qolb(self):
+        """QOLB releases are explicit; no timer is ever armed."""
+        system = build_system(4, "qolb")
+        lock = QolbLock(system.layout.alloc_line())
+        token = system.layout.alloc_line()
+        lock_workers(system, lock, token, 4, 6, cs=500)
+        assert system.total("timeouts") == 0
+
+    def test_fifo_handoff_order(self):
+        """The lock travels in enqueue order."""
+        system = build_system(3, "qolb")
+        lock = QolbLock(system.layout.alloc_line())
+        grants = []
+
+        def program(tid):
+            yield Compute(1 + tid * 400)  # enqueue in tid order
+            yield from lock.acquire()
+            grants.append(tid)
+            yield Compute(1_500)  # force the others to queue behind
+            yield from lock.release()
+
+        run_programs(system, [program(t) for t in range(3)])
+        assert grants == [0, 1, 2]

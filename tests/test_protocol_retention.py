@@ -1,0 +1,85 @@
+"""Integration tests for the queue-retention variants (paper §3.2/3.3).
+
+With retention, a regular RFO hitting a deferring owner becomes a *loan*:
+the line travels to the writer with a marker forcing its return, and the
+distributed queue survives intact.
+"""
+
+import pytest
+
+from conftest import build_system, run_programs
+from repro.cpu.ops import LL, SC, Compute, Read, Write
+from repro.sync import TTSLock
+
+
+def contended_lock_run(policy, n=4, iters=8, timeout=None, cs_compute=0):
+    overrides = {}
+    if timeout is not None:
+        overrides["timeout_cycles"] = timeout
+    system = build_system(n, policy, **overrides)
+    lock = TTSLock(system.layout.alloc_line())
+    token = system.layout.alloc_line()
+
+    def program():
+        for _ in range(iters):
+            yield from lock.acquire()
+            value = yield Read(token)
+            if cs_compute:
+                yield Compute(cs_compute)
+            yield Write(token, value + 1)
+            yield from lock.release()
+            yield Compute(40)
+
+    run_programs(system, [program() for _ in range(n)])
+    assert system.read_word(token) == n * iters
+    return system
+
+
+class TestDelayedRetention:
+    def test_loans_replace_breakdowns(self):
+        system = contended_lock_run("delayed+retention")
+        assert system.total("loans") > 0
+        assert system.total("loan_returns") > 0
+        assert system.total("squashes") == 0
+
+    def test_no_retention_breaks_down_instead(self):
+        system = contended_lock_run("delayed")
+        assert system.total("loans") == 0
+        assert system.total("squashes") > 0
+
+    def test_retention_reduces_traffic(self):
+        without = contended_lock_run("delayed")
+        with_retention = contended_lock_run("delayed+retention")
+        assert (
+            with_retention.stats.value("bus.transactions")
+            < without.stats.value("bus.transactions")
+        )
+
+
+class TestIqolbRetention:
+    def test_correctness(self):
+        contended_lock_run("iqolb+retention")
+
+    def test_loans_on_forced_release_path(self):
+        """Force the release store to miss (timeout moved the line) so
+        the retention path must lend and recover the line."""
+        system = contended_lock_run("iqolb+retention", timeout=250, cs_compute=900)
+        # The CS outlives the bound, so lines move away mid-CS; releases
+        # then borrow them back.
+        assert system.total("timeouts") > 0
+        assert system.total("loans") > 0
+        assert system.total("loan_returns") > 0
+
+    def test_queue_survives_loans(self):
+        system = contended_lock_run("iqolb+retention", timeout=250, cs_compute=900)
+        assert system.total("squashes") == 0
+
+
+class TestLoanMechanics:
+    def test_lender_answers_for_loaned_line(self):
+        """During a loan, third-party requests retry instead of reading
+        stale memory."""
+        system = contended_lock_run("iqolb+retention", n=6, timeout=200)
+        # Retries may or may not occur depending on timing; what matters
+        # is correctness (asserted in the helper) plus loan balance:
+        assert system.total("loans") == system.total("loan_returns")

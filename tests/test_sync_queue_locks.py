@@ -1,0 +1,150 @@
+"""Integration tests for the software queue locks (Anderson, CLH).
+
+Both come from the paper's related-work landscape (refs [3], [27]) and
+provide the software baseline that the paper's hardware queues improve
+on.  Mutual exclusion, FIFO order, and recycling are verified.
+"""
+
+import pytest
+
+from conftest import build_system, run_programs
+from repro.cpu.ops import Compute, Read, Write
+from repro.sync.anderson import AndersonLock
+from repro.sync.clh import ClhLock
+from repro.workloads.base import LockSet
+
+
+class TestAndersonLock:
+    @pytest.mark.parametrize("policy", ["baseline", "delayed", "iqolb"])
+    def test_mutual_exclusion(self, policy):
+        n = 4
+        system = build_system(n, policy)
+        lock = AndersonLock(
+            system.layout.alloc_line(),
+            [system.layout.alloc_line() for _ in range(n)],
+        )
+        lock.initialise(system.write_word)
+        token = system.layout.alloc_line()
+
+        def worker():
+            for _ in range(10):
+                slot = yield from lock.acquire_slot()
+                value = yield Read(token)
+                yield Compute(3)
+                yield Write(token, value + 1)
+                yield from lock.release_slot(slot)
+                yield Compute(25)
+
+        run_programs(system, [worker() for _ in range(n)])
+        assert system.read_word(token) == n * 10
+
+    def test_fifo_grant_order(self):
+        system = build_system(3, "baseline")
+        lock = AndersonLock(
+            system.layout.alloc_line(),
+            [system.layout.alloc_line() for _ in range(3)],
+        )
+        lock.initialise(system.write_word)
+        granted = []
+
+        def worker(tid):
+            yield Compute(1 + tid * 500)
+            slot = yield from lock.acquire_slot()
+            granted.append(tid)
+            yield Compute(900)
+            yield from lock.release_slot(slot)
+
+        run_programs(system, [worker(t) for t in range(3)])
+        assert granted == [0, 1, 2]
+
+    def test_slot_wraparound(self):
+        """More acquires than slots: indices wrap and stay correct."""
+        system = build_system(2, "baseline")
+        lock = AndersonLock(
+            system.layout.alloc_line(),
+            [system.layout.alloc_line() for _ in range(2)],
+        )
+        lock.initialise(system.write_word)
+        token = system.layout.alloc_line()
+
+        def worker():
+            for _ in range(9):  # 18 acquires over 2 slots
+                slot = yield from lock.acquire_slot()
+                value = yield Read(token)
+                yield Write(token, value + 1)
+                yield from lock.release_slot(slot)
+                yield Compute(15)
+
+        run_programs(system, [worker() for _ in range(2)])
+        assert system.read_word(token) == 18
+
+    def test_too_few_slots_rejected(self):
+        with pytest.raises(ValueError):
+            AndersonLock(0x1000, [0x1040])
+
+
+class TestClhLock:
+    @pytest.mark.parametrize("policy", ["baseline", "delayed", "iqolb"])
+    def test_mutual_exclusion_with_recycling(self, policy):
+        n = 4
+        system = build_system(n, policy)
+        lock = ClhLock(system.layout.alloc_line(), system.layout.alloc_line())
+        lock.initialise(system.write_word)
+        token = system.layout.alloc_line()
+        nodes = [system.layout.alloc_line() for _ in range(n)]
+
+        def worker(tid):
+            node = nodes[tid]
+            for _ in range(10):
+                held, node = yield from lock.acquire_with(node)
+                value = yield Read(token)
+                yield Compute(3)
+                yield Write(token, value + 1)
+                yield from lock.release_with(held)
+                yield Compute(25)
+
+        run_programs(system, [worker(t) for t in range(n)])
+        assert system.read_word(token) == n * 10
+
+    def test_fifo_grant_order(self):
+        system = build_system(3, "baseline")
+        lock = ClhLock(system.layout.alloc_line(), system.layout.alloc_line())
+        lock.initialise(system.write_word)
+        nodes = [system.layout.alloc_line() for _ in range(3)]
+        granted = []
+
+        def worker(tid):
+            yield Compute(1 + tid * 500)
+            held, _node = yield from lock.acquire_with(nodes[tid])
+            granted.append(tid)
+            yield Compute(900)
+            yield from lock.release_with(held)
+
+        run_programs(system, [worker(t) for t in range(3)])
+        assert granted == [0, 1, 2]
+
+    def test_node_zero_rejected(self):
+        lock = ClhLock(0x1000, 0x1040)
+        gen = lock.acquire_with(0)
+        with pytest.raises(ValueError):
+            next(gen)
+
+
+class TestViaLockSet:
+    @pytest.mark.parametrize("kind", ["anderson", "clh"])
+    def test_lockset_integration(self, kind):
+        system = build_system(3, "baseline")
+        lockset = LockSet(kind, system, n_locks=2, n_threads=3)
+        tokens = [system.layout.alloc_line() for _ in range(2)]
+
+        def worker(tid):
+            for i in range(6):
+                idx = i % 2
+                yield from lockset.acquire(idx, tid)
+                value = yield Read(tokens[idx])
+                yield Write(tokens[idx], value + 1)
+                yield from lockset.release(idx, tid)
+                yield Compute(20)
+
+        run_programs(system, [worker(t) for t in range(3)])
+        assert sum(system.read_word(t) for t in tokens) == 18

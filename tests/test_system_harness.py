@@ -1,0 +1,151 @@
+"""Tests for the system builder, config and memory layout."""
+
+import pytest
+
+from repro import System, SystemConfig
+from repro.cpu.ops import Compute, Read, Write
+from repro.harness.config import table1_rows
+from repro.harness.layout import MemoryLayout
+from repro.mem.address import AddressMap
+
+
+class TestSystemConfig:
+    def test_defaults_match_table1(self):
+        config = SystemConfig()
+        assert config.n_processors == 32
+        assert config.line_bytes == 64
+        assert config.bus_max_outstanding == 117
+
+    def test_with_override(self):
+        config = SystemConfig().with_(n_processors=4, policy="iqolb")
+        assert config.n_processors == 4
+        assert config.policy == "iqolb"
+        assert SystemConfig().n_processors == 32  # original untouched
+
+    def test_policy_kwargs_only_for_deferral_schemes(self):
+        assert SystemConfig(policy="baseline", timeout_cycles=99).policy_kwargs() == {}
+        assert SystemConfig(policy="iqolb", timeout_cycles=99).policy_kwargs() == {
+            "timeout_cycles": 99
+        }
+
+    def test_table1_rows_reflect_config(self):
+        rows = table1_rows(SystemConfig(l2_size_bytes=1024 * 1024))
+        text = " ".join(str(cell) for row in rows for cell in row)
+        assert "1024-KB" in text
+
+
+class TestSystemBuilder:
+    def test_builds_requested_processor_count(self):
+        system = System(SystemConfig(n_processors=5))
+        assert len(system.processors) == 5
+        assert len(system.controllers) == 5
+
+    def test_each_controller_gets_own_policy(self):
+        system = System(SystemConfig(n_processors=3, policy="iqolb"))
+        policies = {id(c.policy) for c in system.controllers}
+        assert len(policies) == 3
+
+    def test_run_without_programs_raises(self):
+        system = System(SystemConfig(n_processors=1))
+        with pytest.raises(RuntimeError):
+            system.run()
+
+    def test_double_load_rejected(self):
+        system = System(SystemConfig(n_processors=1))
+        system.load_program(0, iter([]))
+        with pytest.raises(ValueError):
+            system.load_program(0, iter([]))
+
+    def test_partial_load_runs_loaded_only(self):
+        system = System(SystemConfig(n_processors=4))
+        addr = system.layout.alloc_line()
+
+        def program():
+            yield Write(addr, 1)
+
+        system.load_program(2, program())
+        system.run()
+        assert system.read_word(addr) == 1
+
+    def test_read_word_sees_dirty_cache_data(self):
+        system = System(SystemConfig(n_processors=1))
+        addr = system.layout.alloc_line()
+
+        def program():
+            yield Write(addr, 123)
+
+        system.load_program(0, program())
+        system.run()
+        assert system.memory.read_word(addr) == 0  # still dirty in cache
+        assert system.read_word(addr) == 123
+
+    def test_write_word_initialises_memory(self):
+        system = System(SystemConfig(n_processors=1))
+        addr = system.layout.alloc_line()
+        system.write_word(addr, 7)
+        seen = []
+
+        def program():
+            seen.append((yield Read(addr)))
+
+        system.load_program(0, program())
+        system.run()
+        assert seen == [7]
+
+    def test_totals_aggregate_across_nodes(self):
+        system = System(SystemConfig(n_processors=2))
+        a = system.layout.alloc_line()
+        b = system.layout.alloc_line()
+
+        def program(addr):
+            yield Read(addr)
+
+        system.load_program(0, program(a))
+        system.load_program(1, program(b))
+        system.run()
+        assert system.total("misses") == 2
+
+
+class TestMemoryLayout:
+    def make(self):
+        return MemoryLayout(AddressMap(64), base=0x10000)
+
+    def test_alloc_word_packs(self):
+        layout = self.make()
+        a = layout.alloc_word()
+        b = layout.alloc_word()
+        assert b == a + 4
+
+    def test_alloc_line_is_aligned_and_exclusive(self):
+        layout = self.make()
+        layout.alloc_word()
+        line = layout.alloc_line()
+        assert line % 64 == 0
+        next_one = layout.alloc_line()
+        assert next_one == line + 64
+
+    def test_words_in_line_share_a_line(self):
+        layout = self.make()
+        words = layout.alloc_words_in_line(4)
+        amap = AddressMap(64)
+        assert len({amap.line_addr(w) for w in words}) == 1
+
+    def test_words_in_line_capacity_check(self):
+        layout = self.make()
+        with pytest.raises(ValueError):
+            layout.alloc_words_in_line(17)
+
+    def test_alloc_lines_do_not_false_share(self):
+        layout = self.make()
+        amap = AddressMap(64)
+        addrs = layout.alloc_lines(5)
+        assert len({amap.line_addr(a) for a in addrs}) == 5
+
+    def test_alloc_array_dense(self):
+        layout = self.make()
+        arr = layout.alloc_array(6)
+        assert [b - a for a, b in zip(arr, arr[1:])] == [4] * 5
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryLayout(AddressMap(64), base=0x10004)
