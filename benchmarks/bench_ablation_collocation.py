@@ -7,7 +7,6 @@ for free; for TTS the line ping-pongs either way.
 """
 
 from conftest import once, publish
-
 from repro.harness.config import SystemConfig
 from repro.harness.experiment import PRIMITIVES, run_workload
 from repro.harness.tables import render_table

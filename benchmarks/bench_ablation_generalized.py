@@ -10,7 +10,6 @@ forwards them with the released lock.
 """
 
 from conftest import once, publish
-
 from repro import System, SystemConfig
 from repro.cpu.ops import Compute, Read, Write
 from repro.harness.tables import render_table

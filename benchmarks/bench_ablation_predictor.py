@@ -9,7 +9,6 @@ accuracy counter.
 """
 
 from conftest import once, publish
-
 from repro import System, SystemConfig
 from repro.cpu.ops import Compute, Read, Write
 from repro.harness.tables import render_table

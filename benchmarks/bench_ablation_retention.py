@@ -9,7 +9,6 @@ is exactly the regular RFO that hits the queue.
 """
 
 from conftest import once, publish
-
 from repro.harness.config import SystemConfig
 from repro.harness.experiment import PRIMITIVES, run_workload
 from repro.harness.tables import render_table

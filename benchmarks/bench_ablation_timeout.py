@@ -8,7 +8,6 @@ critical section is ~200 cycles.
 """
 
 from conftest import once, publish
-
 from repro.harness.config import SystemConfig
 from repro.harness.experiment import run_workload
 from repro.harness.tables import render_table

@@ -8,7 +8,6 @@ index for each primitive on one contended lock.
 """
 
 from conftest import once, publish
-
 from repro.harness.fairness import measure_lock_fairness
 from repro.harness.tables import render_table
 

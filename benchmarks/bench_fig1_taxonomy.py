@@ -17,7 +17,6 @@ and asserts them:
 import dataclasses
 
 from conftest import once, publish
-
 from repro.harness.config import SystemConfig
 from repro.harness.experiment import PRIMITIVES, run_workload
 from repro.harness.tables import render_table
@@ -39,19 +38,24 @@ class Row:
     release_handoffs: int
 
 
-def measure(primitive: str, n_processors: int = 16) -> Row:
+def measure(
+    primitive: str,
+    n_processors: int = 16,
+    increments: int = 30,
+    acquires: int = 20,
+) -> Row:
     policy, lock_kind = PRIMITIVES[primitive]
     config = SystemConfig(n_processors=n_processors, policy=policy)
 
-    counter = ContendedCounter(increments_per_proc=30, think_cycles=40)
+    counter = ContendedCounter(increments_per_proc=increments, think_cycles=40)
     rmw = run_workload(counter, config, primitive=primitive)
-    updates = n_processors * 30
+    updates = n_processors * increments
 
     lock = NullCriticalSection(
-        lock_kind=lock_kind, acquires_per_proc=20, think_cycles=80
+        lock_kind=lock_kind, acquires_per_proc=acquires, think_cycles=80
     )
     lock_run = run_workload(lock, config, primitive=primitive)
-    acquires = n_processors * 20
+    total_acquires = n_processors * acquires
 
     return Row(
         primitive=primitive,
@@ -59,18 +63,25 @@ def measure(primitive: str, n_processors: int = 16) -> Row:
         rmw_txns_per_update=rmw.bus_transactions / updates,
         rmw_sc_failures=rmw.stat("sc_fail"),
         lock_cycles=lock_run.cycles,
-        lock_txns_per_acquire=lock_run.bus_transactions / acquires,
+        lock_txns_per_acquire=lock_run.bus_transactions / total_acquires,
         tearoffs=lock_run.stat("tearoffs_sent"),
         release_handoffs=lock_run.stat("handoff_release"),
     )
 
 
-def run_all():
-    return {prim: measure(prim) for prim in ["tts"] + POLICY_PRIMS}
+def run_all(n_processors: int = 16, increments: int = 30, acquires: int = 20):
+    return {
+        prim: measure(prim, n_processors, increments, acquires)
+        for prim in ["tts"] + POLICY_PRIMS
+    }
 
 
-def test_fig1_taxonomy(benchmark):
-    rows = once(benchmark, run_all)
+def test_fig1_taxonomy(benchmark, smoke):
+    if smoke:
+        rows = once(benchmark, run_all, 4, 10, 8)
+    else:
+        rows = once(benchmark, run_all)
+    n_procs = 4 if smoke else 16
     table = render_table(
         ["method", "RMW cyc", "txns/RMW", "SC fails",
          "lock cyc", "txns/acq", "tearoffs", "rel-handoffs"],
@@ -87,9 +98,17 @@ def test_fig1_taxonomy(benchmark):
             )
             for r in rows.values()
         ],
-        title="Figure 1 taxonomy, quantified (16 processors)",
+        title=f"Figure 1 taxonomy, quantified ({n_procs} processors)",
     )
     publish("fig1_taxonomy", table)
+
+    if smoke:
+        # End-to-end protocol sanity only; the calibrated claims below
+        # hold at paper scale, not on a 4-processor smoke machine.
+        assert rows["delayed"].rmw_sc_failures == 0
+        assert rows["iqolb"].rmw_sc_failures == 0
+        assert rows["delayed"].tearoffs == 0
+        return
 
     base, aggr = rows["tts"], rows["aggressive"]
     delayed, iqolb = rows["delayed"], rows["iqolb"]

@@ -6,7 +6,6 @@ requests, and an invalidate that forces the loser to retry.
 """
 
 from conftest import once, publish
-
 from repro.harness.traces import figure2_scenario
 
 

@@ -7,7 +7,6 @@ ever retries its LL/SC sequence.
 """
 
 from conftest import once, publish
-
 from repro.harness.traces import figure3_scenario
 
 

@@ -8,7 +8,6 @@ acquire SC, and not a timeout.
 """
 
 from conftest import once, publish
-
 from repro.harness.traces import figure4_scenario
 
 

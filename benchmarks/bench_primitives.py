@@ -6,31 +6,31 @@ the conventional protocol — against TTS, delayed response, IQOLB and
 QOLB, on the contended-lock microbenchmark at 16 processors.
 """
 
-from conftest import once, publish
+import functools
 
-from repro.harness.config import SystemConfig
-from repro.harness.experiment import PRIMITIVES, run_workload
+from conftest import once, publish
+from repro.harness.sweep import sweep
 from repro.harness.tables import render_table
 from repro.workloads.micro import NullCriticalSection
 
 PRIMS = ["ts", "tts", "ticket", "anderson", "mcs", "clh",
          "delayed", "iqolb", "qolb"]
 
-
-def measure(n_processors: int = 16):
-    out = {}
-    for primitive in PRIMS:
-        policy, lock_kind = PRIMITIVES[primitive]
-        config = SystemConfig(n_processors=n_processors, policy=policy)
-        workload = NullCriticalSection(
-            lock_kind=lock_kind, acquires_per_proc=15, think_cycles=80
-        )
-        out[primitive] = run_workload(workload, config, primitive=primitive)
-    return out
+factory = functools.partial(
+    NullCriticalSection, acquires_per_proc=15, think_cycles=80
+)
 
 
-def test_primitive_comparison(benchmark):
-    results = once(benchmark, measure)
+def measure(n_processors: int = 16, n_jobs: int = 1, cache=None):
+    grid = sweep(factory, PRIMS, [n_processors], n_jobs=n_jobs, cache=cache)
+    return {prim: grid.cell(prim, n_processors) for prim in PRIMS}
+
+
+def test_primitive_comparison(benchmark, smoke, jobs, result_cache):
+    n_procs = 4 if smoke else 16
+    results = once(
+        benchmark, measure, n_procs, n_jobs=jobs, cache=result_cache
+    )
     base = results["tts"].cycles
     rows = [
         (
@@ -47,9 +47,13 @@ def test_primitive_comparison(benchmark):
         render_table(
             ["primitive", "cycles", "vs TTS", "bus txns", "SC fails"],
             rows,
-            title="A6: primitive comparison (contended lock, 16 processors)",
+            title=f"A6: primitive comparison (contended lock, {n_procs} "
+                  "processors)",
         ),
     )
+    if smoke:
+        assert all(r.cycles > 0 for r in results.values())
+        return
 
     # The software queue locks (Anderson, MCS, CLH) already beat raw TTS
     # spinning...

@@ -6,35 +6,33 @@ lock hand-off as contention grows.  TTS degrades super-linearly
 line transfer per hand-off, paper §2).
 """
 
-from conftest import once, publish
+import functools
 
-from repro.harness.config import SystemConfig
-from repro.harness.experiment import PRIMITIVES, run_workload
+from conftest import once, publish
+from repro.harness.sweep import sweep
 from repro.harness.tables import render_table
 from repro.workloads.micro import NullCriticalSection
 
 SIZES = [2, 4, 8, 16, 32]
 PRIMS = ["tts", "delayed", "iqolb", "qolb"]
+ACQUIRES = 15
+
+factory = functools.partial(
+    NullCriticalSection, acquires_per_proc=ACQUIRES, think_cycles=60
+)
 
 
-def measure():
-    out = {}
-    for primitive in PRIMS:
-        policy, lock_kind = PRIMITIVES[primitive]
-        per_size = []
-        for size in SIZES:
-            config = SystemConfig(n_processors=size, policy=policy)
-            workload = NullCriticalSection(
-                lock_kind=lock_kind, acquires_per_proc=15, think_cycles=60
-            )
-            result = run_workload(workload, config, primitive=primitive)
-            per_size.append(result.cycles / (size * 15))
-        out[primitive] = per_size
-    return out
+def measure(sizes, n_jobs=1, cache=None):
+    grid = sweep(factory, PRIMS, sizes, n_jobs=n_jobs, cache=cache)
+    return {
+        prim: [grid.cell(prim, size).cycles / (size * ACQUIRES) for size in sizes]
+        for prim in PRIMS
+    }
 
 
-def test_scaling(benchmark):
-    results = once(benchmark, measure)
+def test_scaling(benchmark, smoke, jobs, result_cache):
+    sizes = SIZES[:3] if smoke else SIZES
+    results = once(benchmark, measure, sizes, n_jobs=jobs, cache=result_cache)
     rows = [
         [prim] + [f"{c:.0f}" for c in cycles]
         for prim, cycles in results.items()
@@ -42,11 +40,14 @@ def test_scaling(benchmark):
     publish(
         "scaling",
         render_table(
-            ["primitive"] + [f"{s}p" for s in SIZES],
+            ["primitive"] + [f"{s}p" for s in sizes],
             rows,
             title="A4: cycles per lock hand-off vs. machine size",
         ),
     )
+    if smoke:
+        assert all(all(c > 0 for c in cycles) for cycles in results.values())
+        return
 
     tts, iqolb, qolb = results["tts"], results["iqolb"], results["qolb"]
     # TTS hand-off cost explodes with contention...

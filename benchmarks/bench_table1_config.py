@@ -6,7 +6,6 @@ and checks the headline values against the paper.
 """
 
 from conftest import once, publish
-
 from repro.harness.config import SystemConfig
 from repro.harness.tables import render_table1
 

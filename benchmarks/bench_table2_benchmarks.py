@@ -5,7 +5,6 @@ registry, plus the reproduction's full parameterisation of each model.
 """
 
 from conftest import once, publish
-
 from repro.harness.tables import render_table2, render_table2_parameters
 from repro.workloads.splash import APP_MODELS, APP_ORDER
 

@@ -4,6 +4,18 @@ Each bench regenerates one table or figure of the paper (see DESIGN.md's
 experiment index).  Simulated runs are deterministic and expensive, so
 every bench executes exactly once per session (``once``) and both prints
 its artefact and writes it under ``results/``.
+
+Harness options (also used by the CI smoke step):
+
+``--smoke``
+    Tiny machine sizes and short workloads: every driver still runs
+    end-to-end (catching protocol regressions that only appear under
+    sweeps), but the paper-calibrated quantitative assertions are
+    skipped — they only hold at paper scale.
+``--jobs N``
+    Worker processes for sweep cells (default 1, serial).
+``--no-cache``
+    Ignore the on-disk result cache and re-simulate every cell.
 """
 
 from __future__ import annotations
@@ -11,6 +23,8 @@ from __future__ import annotations
 import pathlib
 
 import pytest
+
+from repro.harness.cache import ResultCache
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
@@ -22,6 +36,28 @@ PAPER_TABLE3 = {
     "raytrace": (1.5, 11.01, 10.75),
     "water-nsq": (18.1, 1.06, 1.06),
 }
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro benches")
+    group.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="tiny sweeps, end-to-end only; skip paper-scale assertions",
+    )
+    group.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep cells (default: 1, serial)",
+    )
+    group.addoption(
+        "--no-cache",
+        action="store_true",
+        default=False,
+        help="bypass the on-disk result cache",
+    )
 
 
 def once(benchmark, fn, *args, **kwargs):
@@ -40,3 +76,21 @@ def publish(name: str, text: str) -> None:
 @pytest.fixture
 def paper_table3():
     return PAPER_TABLE3
+
+
+@pytest.fixture
+def smoke(request) -> bool:
+    return request.config.getoption("--smoke")
+
+
+@pytest.fixture
+def jobs(request) -> int:
+    return request.config.getoption("--jobs")
+
+
+@pytest.fixture
+def result_cache(request):
+    """The shared result cache, or None under ``--no-cache``."""
+    if request.config.getoption("--no-cache"):
+        return None
+    return ResultCache()

@@ -10,7 +10,6 @@ Prints cycles-per-acquire for each primitive at each machine size.
 """
 
 from repro import System, SystemConfig
-from repro.cpu.ops import Compute, Read, Write
 from repro.harness.experiment import PRIMITIVES
 from repro.harness.tables import render_table
 from repro.workloads.micro import NullCriticalSection

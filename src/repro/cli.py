@@ -18,9 +18,10 @@ import sys
 from typing import List, Optional
 
 from repro.core.registry import policy_names
+from repro.harness.cache import ResultCache
 from repro.harness.config import SystemConfig
 from repro.harness.diagram import render_sequence_diagram
-from repro.harness.experiment import PRIMITIVES, run_app, table3
+from repro.harness.experiment import PRIMITIVES, run_app, table3_with_stats
 from repro.harness.fairness import measure_lock_fairness
 from repro.harness.tables import (
     render_table,
@@ -51,8 +52,22 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 def _cmd_table3(args: argparse.Namespace) -> int:
     apps = args.apps or APP_ORDER
-    rows = table3(n_processors=args.processors, apps=apps)
+    unknown = [app for app in apps if app not in APP_ORDER]
+    if unknown:
+        raise SystemExit(
+            f"unknown benchmark(s) {', '.join(unknown)} "
+            f"(choose from {', '.join(APP_ORDER)})"
+        )
+    cache = None if args.no_cache else ResultCache()
+    rows, stats = table3_with_stats(
+        n_processors=args.processors,
+        apps=apps,
+        n_jobs=args.jobs,
+        cache=cache,
+    )
     print(render_table3(rows, n_processors=args.processors))
+    print()
+    print(stats.summary())
     return 0
 
 
@@ -115,9 +130,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table2", help="print the benchmark models (Table 2)")
 
     p3 = sub.add_parser("table3", help="reproduce (a slice of) Table 3")
-    p3.add_argument("apps", nargs="*", choices=APP_ORDER + [],
-                    help="benchmarks (default: all five)")
+    # No argparse choices= here: with nargs="*" Python <= 3.12.7 rejects
+    # the empty default against the choice list; validated in the handler.
+    p3.add_argument("apps", nargs="*",
+                    help=f"benchmarks (default: {' '.join(APP_ORDER)})")
     p3.add_argument("-p", "--processors", type=int, default=32)
+    p3.add_argument("-j", "--jobs", type=int, default=1,
+                    help="worker processes for the sweep (default 1)")
+    p3.add_argument("--no-cache", action="store_true",
+                    help="ignore and do not update the on-disk result cache")
 
     pf = sub.add_parser("figure", help="render a sequence figure (2, 3 or 4)")
     pf.add_argument("number", type=int, choices=(2, 3, 4))

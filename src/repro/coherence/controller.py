@@ -42,7 +42,6 @@ from repro.interconnect.bus import AddressBus, BusClient
 from repro.interconnect.crossbar import Crossbar
 from repro.interconnect.messages import (
     DEFERRABLE_OPS,
-    OWNERSHIP_OPS,
     BusOp,
     BusTransaction,
     DataKind,

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.delayed import DEFAULT_TIMEOUT
 from repro.core.policy import SUPPLY_NOW, DeferDecision, ProtocolPolicy
 from repro.core.predictor import HeldLockTable, LockPredictor
 from repro.cpu.ops import Op

@@ -19,7 +19,7 @@ Two small hardware tables drive IQOLB's speculation:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.mem.address import AddressMap
 

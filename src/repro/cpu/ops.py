@@ -21,7 +21,6 @@ IQOLB lock predictor indexes its table by the PC of the LL (paper §3.4).
 
 from __future__ import annotations
 
-from typing import Optional
 
 
 class Op:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from repro.cpu.ops import Compute, Fence, Op
+from repro.cpu.ops import Compute, Fence
 from repro.cpu.thread import SimThread
 from repro.engine.simulator import Simulator
 from repro.engine.stats import StatsRegistry

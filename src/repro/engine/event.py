@@ -8,7 +8,7 @@ the same priority fire in the order they were scheduled.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Callable, List, Optional
 
 
 class Event:

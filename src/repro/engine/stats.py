@@ -8,8 +8,7 @@ deferral delays, and so on).
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, Tuple
 
 
 class Counter:

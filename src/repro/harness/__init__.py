@@ -1,6 +1,8 @@
 """Experiment harness: configuration, system builder, runners, tables."""
 
+from repro.harness.cache import ResultCache, default_cache_dir, stable_hash
 from repro.harness.config import SystemConfig, table1_rows
+from repro.harness.diagram import render_sequence_diagram
 from repro.harness.experiment import (
     PRIMITIVES,
     RunResult,
@@ -9,11 +11,18 @@ from repro.harness.experiment import (
     run_workload,
     table3,
     table3_row,
+    table3_with_stats,
 )
-from repro.harness.diagram import render_sequence_diagram
 from repro.harness.fairness import FairnessReport, measure_lock_fairness
 from repro.harness.layout import MemoryLayout
 from repro.harness.report import render_report, report_rows
+from repro.harness.runner import (
+    AppSpec,
+    CellSpec,
+    FactorySpec,
+    RunnerStats,
+    run_cells,
+)
 from repro.harness.sweep import SweepResult, sweep, sweep_config
 from repro.harness.system import System
 from repro.harness.tables import (
@@ -33,16 +42,24 @@ from repro.harness.traces import (
 )
 
 __all__ = [
+    "AppSpec",
+    "CellSpec",
+    "FactorySpec",
     "FairnessReport",
     "MemoryLayout",
     "PRIMITIVES",
+    "ResultCache",
     "RunResult",
+    "RunnerStats",
     "ScenarioResult",
     "System",
     "SystemConfig",
     "Table3Row",
     "TraceEvent",
     "TraceRecorder",
+    "default_cache_dir",
+    "run_cells",
+    "stable_hash",
     "figure2_scenario",
     "figure3_scenario",
     "figure4_scenario",
@@ -63,4 +80,5 @@ __all__ = [
     "table1_rows",
     "table3",
     "table3_row",
+    "table3_with_stats",
 ]

@@ -16,12 +16,17 @@ retention variants) support the ablation benches.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, List, Optional
+import time
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.harness.config import SystemConfig
 from repro.harness.system import System
 from repro.workloads.base import Workload
 from repro.workloads.splash import APP_ORDER, make_app
+
+if TYPE_CHECKING:  # pragma: no cover — avoids a runtime import cycle
+    from repro.harness.cache import ResultCache
+    from repro.harness.runner import RunnerStats
 
 #: primitive name -> (protocol policy, lock kind)
 PRIMITIVES: Dict[str, tuple] = {
@@ -52,6 +57,9 @@ class RunResult:
     cycles: int
     bus_transactions: int
     stats: Dict[str, int]
+    #: Host seconds the simulation took; excluded from equality so that
+    #: serial, parallel and cached runs of the same cell compare equal.
+    wall_time_s: float = dataclasses.field(default=0.0, compare=False)
 
     def stat(self, suffix: str) -> int:
         """Sum of all per-node counters ending in ``.suffix``."""
@@ -69,6 +77,7 @@ def run_workload(
     verify: bool = True,
 ) -> RunResult:
     """Build a system, run a workload on a primitive, verify, report."""
+    start = time.perf_counter()
     policy, _lock_kind = PRIMITIVES[primitive]
     system = System(config.with_(policy=policy), tracer=tracer)
     workload.build(system)
@@ -82,6 +91,7 @@ def run_workload(
         cycles=cycles,
         bus_transactions=system.bus_transactions(),
         stats=system.stats.snapshot(),
+        wall_time_s=time.perf_counter() - start,
     )
 
 
@@ -142,9 +152,95 @@ def table3_row(
     )
 
 
+def table3_cells(
+    n_processors: int = 32,
+    apps: Optional[List[str]] = None,
+    model_overrides: Optional[dict] = None,
+) -> list:
+    """The declarative cell list behind Table 3.
+
+    Four cells per benchmark — the uniprocessor TTS base case plus TTS,
+    QOLB and IQOLB on the ``n_processors`` machine — keyed
+    ``(app, label)`` so the grid reassembles into :class:`Table3Row`.
+    """
+    from repro.harness.runner import AppSpec, CellSpec
+
+    names = apps if apps is not None else APP_ORDER
+    cells = []
+    for name in names:
+        runs = [("uni", "tts", 1)] + [
+            (primitive, primitive, n_processors)
+            for primitive in ("tts", "qolb", "iqolb")
+        ]
+        for label, primitive, procs in runs:
+            policy, lock_kind = PRIMITIVES[primitive]
+            cells.append(
+                CellSpec(
+                    key=(name, label),
+                    primitive=primitive,
+                    config=SystemConfig(n_processors=procs, policy=policy),
+                    workload=AppSpec(
+                        app_name=name,
+                        lock_kind=lock_kind,
+                        model_overrides=model_overrides,
+                    ),
+                    verify=False,
+                )
+            )
+    return cells
+
+
+def table3_with_stats(
+    n_processors: int = 32,
+    apps: Optional[List[str]] = None,
+    n_jobs: int = 1,
+    cache: Optional["ResultCache"] = None,
+    model_overrides: Optional[dict] = None,
+) -> Tuple[List[Table3Row], "RunnerStats"]:
+    """Reproduce Table 3 through the parallel runner.
+
+    Returns the rows plus the :class:`~repro.harness.runner.RunnerStats`
+    (simulated vs. cache-hit cell counts) for the batch.
+    """
+    from repro.harness.runner import run_cells
+
+    names = apps if apps is not None else APP_ORDER
+    cells = table3_cells(n_processors, names, model_overrides)
+    grid, stats = run_cells(cells, n_jobs=n_jobs, cache=cache)
+    rows = []
+    for name in names:
+        uni = grid[(name, "uni")]
+        tts = grid[(name, "tts")]
+        qolb = grid[(name, "qolb")]
+        iqolb = grid[(name, "iqolb")]
+        rows.append(
+            Table3Row(
+                benchmark=name,
+                tts_absolute_speedup=uni.cycles / tts.cycles,
+                qolb_speedup=tts.cycles / qolb.cycles,
+                iqolb_speedup=tts.cycles / iqolb.cycles,
+                tts_cycles=tts.cycles,
+                qolb_cycles=qolb.cycles,
+                iqolb_cycles=iqolb.cycles,
+                uniprocessor_cycles=uni.cycles,
+            )
+        )
+    return rows, stats
+
+
 def table3(
-    n_processors: int = 32, apps: Optional[List[str]] = None
+    n_processors: int = 32,
+    apps: Optional[List[str]] = None,
+    n_jobs: int = 1,
+    cache: Optional["ResultCache"] = None,
+    model_overrides: Optional[dict] = None,
 ) -> List[Table3Row]:
     """Reproduce the paper's Table 3 (all benchmarks)."""
-    names = apps if apps is not None else APP_ORDER
-    return [table3_row(name, n_processors) for name in names]
+    rows, _stats = table3_with_stats(
+        n_processors,
+        apps,
+        n_jobs=n_jobs,
+        cache=cache,
+        model_overrides=model_overrides,
+    )
+    return rows

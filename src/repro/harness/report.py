@@ -9,7 +9,7 @@ counts, and cache behaviour.  Used by the CLI and handy in notebooks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.harness.experiment import RunResult
 from repro.harness.tables import render_table
@@ -95,4 +95,10 @@ def _derived_metrics(result: RunResult) -> List[Tuple[str, str]]:
     misses = result.stat("misses")
     if hits + misses:
         out.append(("cache hit rate", f"{hits / (hits + misses):.1%}"))
+    if result.wall_time_s:
+        out.append(("host wall time", f"{result.wall_time_s:.3f}s"))
+        out.append(
+            ("simulated cycles per host second",
+             f"{result.cycles / result.wall_time_s:,.0f}")
+        )
     return out

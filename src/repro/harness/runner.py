@@ -1,0 +1,190 @@
+"""Parallel experiment runner.
+
+The sweep layer describes each simulation as a picklable
+:class:`CellSpec` — (workload spec, config, primitive) plus a grid key —
+and submits batches of them through :func:`run_cells`, which executes
+them across a ``ProcessPoolExecutor`` worker pool, consults the
+content-addressed :class:`~repro.harness.cache.ResultCache` first, and
+reassembles the grid in deterministic spec order.
+
+The simulator is single-threaded and deterministic, so a parallel run
+produces results bit-identical to a serial one; ``run_cells`` falls back
+to an in-process serial loop for ``n_jobs=1``, for unpicklable specs
+(e.g. lambda workload factories), and for platforms where worker
+processes cannot be started.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import pickle
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.cache import ResultCache
+from repro.harness.config import SystemConfig
+from repro.harness.experiment import RunResult, run_workload
+from repro.workloads.base import Workload
+from repro.workloads.splash import make_app
+
+
+@dataclasses.dataclass
+class FactorySpec:
+    """A workload built by calling ``factory(lock_kind)``.
+
+    The factory must be picklable (a module-level callable or a
+    ``functools.partial`` of one) for the spec to run in a worker
+    process; unpicklable factories still work via the serial fallback.
+    """
+
+    factory: Callable[[str], Workload]
+    lock_kind: str
+
+    def make(self) -> Workload:
+        return self.factory(self.lock_kind)
+
+    def describe(self) -> Any:
+        """A stable content description: class + constructor state.
+
+        Building a workload is cheap (construction only stores
+        parameters; ``build()`` is what touches a System), so the
+        description is taken from a fresh instance's attributes rather
+        than from the factory's identity — a factory whose parameters
+        change produces a different key even if its name does not.
+        """
+        sample = self.make()
+        return {
+            "kind": "factory",
+            "class": f"{type(sample).__module__}.{type(sample).__qualname__}",
+            "lock_kind": self.lock_kind,
+            "params": dict(vars(sample)),
+        }
+
+
+@dataclasses.dataclass
+class AppSpec:
+    """A synthetic SPLASH-2 application model by name (Table 2)."""
+
+    app_name: str
+    lock_kind: str
+    model_overrides: Optional[dict] = None
+
+    def make(self) -> Workload:
+        return make_app(
+            self.app_name,
+            lock_kind=self.lock_kind,
+            model_overrides=self.model_overrides,
+        )
+
+    def describe(self) -> Any:
+        sample = self.make()
+        return {
+            "kind": "app",
+            "app_name": self.app_name,
+            "lock_kind": self.lock_kind,
+            "model": sample.model,
+        }
+
+
+@dataclasses.dataclass
+class CellSpec:
+    """One grid cell: a workload on a primitive under a config."""
+
+    key: Tuple[Any, ...]
+    primitive: str
+    config: SystemConfig
+    workload: Any  # FactorySpec | AppSpec (anything with make/describe)
+    verify: bool = True
+
+    def describe(self) -> Any:
+        """The content description hashed into the cache key."""
+        return {
+            "primitive": self.primitive,
+            "config": self.config,
+            "workload": self.workload.describe(),
+            "verify": self.verify,
+        }
+
+
+@dataclasses.dataclass
+class RunnerStats:
+    """What a batch of cells cost: simulations run vs. cache hits."""
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    wall_time_s: float = 0.0
+    n_jobs: int = 1
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} cells: {self.executed} simulated, "
+            f"{self.cache_hits} cache hits "
+            f"({self.n_jobs} jobs, {self.wall_time_s:.2f}s wall)"
+        )
+
+
+def execute_cell(spec: CellSpec) -> RunResult:
+    """Run one cell to completion (also the worker-process entry point)."""
+    workload = spec.workload.make()
+    return run_workload(
+        workload, spec.config, primitive=spec.primitive, verify=spec.verify
+    )
+
+
+def _picklable(specs: Sequence[CellSpec]) -> bool:
+    try:
+        pickle.dumps(list(specs))
+    except Exception:
+        return False
+    return True
+
+
+def _execute_batch(
+    specs: Sequence[CellSpec], n_jobs: int
+) -> List[RunResult]:
+    """Execute specs in order; parallel when possible, serial otherwise."""
+    if n_jobs > 1 and len(specs) > 1 and _picklable(specs):
+        workers = min(n_jobs, len(specs))
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers
+            ) as pool:
+                return list(pool.map(execute_cell, specs))
+        except (OSError, ValueError, concurrent.futures.BrokenExecutor):
+            pass  # no fork/spawn available — fall through to serial
+    return [execute_cell(spec) for spec in specs]
+
+
+def run_cells(
+    specs: Sequence[CellSpec],
+    n_jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> Tuple[Dict[Tuple[Any, ...], RunResult], RunnerStats]:
+    """Run a batch of cells, returning ``(grid, stats)``.
+
+    The grid maps each spec's ``key`` to its :class:`RunResult`, in spec
+    order.  With a cache, previously-computed cells are served from disk
+    and only the remainder is simulated; ``stats`` reports the split so
+    callers can surface it ("0 simulated, 20 cache hits").
+    """
+    stats = RunnerStats(total=len(specs), n_jobs=max(1, n_jobs))
+    start = time.perf_counter()
+    results: Dict[Tuple[Any, ...], RunResult] = {}
+    pending: List[CellSpec] = []
+    for spec in specs:
+        cached = cache.get(cache.key(spec.describe())) if cache else None
+        if cached is not None:
+            results[spec.key] = cached
+            stats.cache_hits += 1
+        else:
+            pending.append(spec)
+    if pending:
+        for spec, result in zip(pending, _execute_batch(pending, n_jobs)):
+            results[spec.key] = result
+            stats.executed += 1
+            if cache:
+                cache.put(cache.key(spec.describe()), result)
+    stats.wall_time_s = time.perf_counter() - start
+    return {spec.key: results[spec.key] for spec in specs}, stats

@@ -5,6 +5,13 @@ examples run: sweep one or two axes (machine size, protocol, timeout,
 network latency, ...) over a workload factory and collect
 :class:`~repro.harness.experiment.RunResult` objects into a grid that
 renders straight into a table.
+
+Cells are described as picklable
+:class:`~repro.harness.runner.CellSpec` objects and executed through
+:func:`~repro.harness.runner.run_cells`, so every sweep can run across
+a worker pool (``n_jobs``) and replay unchanged cells from the
+content-addressed result cache (``cache``) — with results identical to
+a serial, uncached run.
 """
 
 from __future__ import annotations
@@ -12,8 +19,10 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.harness.cache import ResultCache
 from repro.harness.config import SystemConfig
-from repro.harness.experiment import PRIMITIVES, RunResult, run_workload
+from repro.harness.experiment import PRIMITIVES, RunResult
+from repro.harness.runner import CellSpec, FactorySpec, RunnerStats, run_cells
 from repro.harness.tables import render_table
 from repro.workloads.base import Workload
 
@@ -27,9 +36,18 @@ class SweepResult:
     rows: List[Any]
     cols: List[Any]
     grid: Dict[Tuple[Any, Any], RunResult]
+    #: Execution accounting for the batch (simulated vs. cache hits).
+    runner_stats: Optional[RunnerStats] = None
 
     def cell(self, row: Any, col: Any) -> RunResult:
-        return self.grid[(row, col)]
+        try:
+            return self.grid[(row, col)]
+        except KeyError:
+            raise KeyError(
+                f"no sweep cell ({row!r}, {col!r}): valid {self.row_axis} "
+                f"values are {self.rows!r} and valid {self.col_axis} "
+                f"values are {self.cols!r}"
+            ) from None
 
     def metric_grid(
         self, metric: Callable[[RunResult], Any]
@@ -60,29 +78,40 @@ def sweep(
     processor_counts: Sequence[int],
     config_overrides: Optional[dict] = None,
     verify: bool = True,
+    n_jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> SweepResult:
     """Sweep primitive x machine size.
 
     ``workload_factory(lock_kind)`` builds a fresh workload per cell
-    (workloads hold per-run state and cannot be reused).
+    (workloads hold per-run state and cannot be reused).  For parallel
+    execution the factory must be picklable (a module-level callable or
+    ``functools.partial``); otherwise the sweep runs serially.
     """
-    grid: Dict[Tuple[Any, Any], RunResult] = {}
+    specs = []
     for primitive in primitives:
         policy, lock_kind = PRIMITIVES[primitive]
         for n in processor_counts:
             config = SystemConfig(n_processors=n, policy=policy)
             if config_overrides:
                 config = config.with_(**config_overrides)
-            workload = workload_factory(lock_kind)
-            grid[(primitive, n)] = run_workload(
-                workload, config, primitive=primitive, verify=verify
+            specs.append(
+                CellSpec(
+                    key=(primitive, n),
+                    primitive=primitive,
+                    config=config,
+                    workload=FactorySpec(workload_factory, lock_kind),
+                    verify=verify,
+                )
             )
+    grid, stats = run_cells(specs, n_jobs=n_jobs, cache=cache)
     return SweepResult(
         row_axis="primitive",
         col_axis="procs",
         rows=list(primitives),
         cols=list(processor_counts),
         grid=grid,
+        runner_stats=stats,
     )
 
 
@@ -93,22 +122,31 @@ def sweep_config(
     axis_values: Sequence[Any],
     n_processors: int = 16,
     verify: bool = True,
+    n_jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> SweepResult:
     """Sweep one SystemConfig field for a single primitive."""
     policy, lock_kind = PRIMITIVES[primitive]
-    grid: Dict[Tuple[Any, Any], RunResult] = {}
+    specs = []
     for value in axis_values:
         config = SystemConfig(
             n_processors=n_processors, policy=policy, **{axis_name: value}
         )
-        workload = workload_factory(lock_kind)
-        grid[(primitive, value)] = run_workload(
-            workload, config, primitive=primitive, verify=verify
+        specs.append(
+            CellSpec(
+                key=(primitive, value),
+                primitive=primitive,
+                config=config,
+                workload=FactorySpec(workload_factory, lock_kind),
+                verify=verify,
+            )
         )
+    grid, stats = run_cells(specs, n_jobs=n_jobs, cache=cache)
     return SweepResult(
         row_axis="primitive",
         col_axis=axis_name,
         rows=[primitive],
         cols=list(axis_values),
         grid=grid,
+        runner_stats=stats,
     )

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional
 
-from repro.mem.line import CacheLine, State
+from repro.mem.line import CacheLine
 
 
 class CacheArray:

@@ -10,7 +10,7 @@ written, and is silently discarded or overwritten when real data arrives.
 from __future__ import annotations
 
 import enum
-from typing import List, Optional
+from typing import List
 
 
 class State(enum.Enum):

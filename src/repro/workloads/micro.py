@@ -125,7 +125,9 @@ class CollocatedCriticalSection(Workload):
         ]
         if self.lock_kind == "ticket":
             # Ticket locks use two words; keep data clear of both.
-            self.data_addrs = [lock_addr + word * (i + 2) for i in range(self.data_words)]
+            self.data_addrs = [
+                lock_addr + word * (i + 2) for i in range(self.data_words)
+            ]
         self.expected = n * self.acquires_per_proc
         for node in range(n):
             system.load_program(node, self._program(node))

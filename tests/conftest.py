@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro import System, SystemConfig
-from repro.cpu.ops import Compute, Read, Write
 
 
 def small_config(n_processors: int = 2, policy: str = "baseline", **overrides):

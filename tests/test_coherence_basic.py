@@ -5,8 +5,6 @@ controller, bus, crossbar, memory — and checks states, data movement and
 writebacks.
 """
 
-import pytest
-
 from conftest import build_system, run_programs
 from repro.cpu.ops import Compute, Read, Write
 from repro.mem.line import State

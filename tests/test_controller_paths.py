@@ -5,12 +5,10 @@ programs or by injecting crossbar messages directly — the situations
 that only arise under racing timings in full runs.
 """
 
-import pytest
-
 from conftest import build_system, run_programs
 from repro.cpu.ops import LL, SC, Compute, Read, Write
 from repro.interconnect.messages import DataKind, DataMessage, GrantState
-from repro.mem.line import CacheLine, State
+from repro.mem.line import State
 
 
 class TestStaleResponses:

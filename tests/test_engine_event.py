@@ -1,6 +1,5 @@
 """Unit tests for the event queue."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.engine.event import Event, EventQueue

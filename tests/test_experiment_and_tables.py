@@ -1,7 +1,5 @@
 """Tests for the experiment runner and the table renderers."""
 
-import pytest
-
 from repro.harness.config import SystemConfig
 from repro.harness.experiment import (
     PRIMITIVES,

@@ -9,7 +9,6 @@ from repro.interconnect.crossbar import Crossbar
 from repro.interconnect.messages import (
     BusOp,
     BusTransaction,
-    DataKind,
     SnoopReply,
 )
 from repro.mem.address import AddressMap

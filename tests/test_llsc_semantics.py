@@ -6,8 +6,6 @@ carefully staggered interleavings on every protocol policy — the
 mechanisms may change *when* data moves, never the LL/SC meaning.
 """
 
-import pytest
-
 from conftest import any_policy, build_system, run_programs
 from repro.cpu.ops import LL, SC, Compute, Read, Swap, Write
 

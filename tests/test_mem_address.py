@@ -1,7 +1,7 @@
 """Unit tests for address arithmetic."""
 
-import pytest
 from hypothesis import given, strategies as st
+import pytest
 
 from repro.mem.address import WORD_BYTES, AddressMap
 

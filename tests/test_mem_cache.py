@@ -1,7 +1,7 @@
 """Unit tests for the set-associative cache array."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
+import pytest
 
 from repro.mem.cache import CacheArray
 from repro.mem.line import CacheLine, State

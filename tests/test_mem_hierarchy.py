@@ -1,7 +1,5 @@
 """Unit tests for the two-level cache hierarchy."""
 
-import pytest
-
 from repro.engine.stats import StatsRegistry
 from repro.mem.cache import CacheArray
 from repro.mem.hierarchy import NodeCacheHierarchy

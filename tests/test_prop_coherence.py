@@ -12,8 +12,8 @@ interleaving:
   exactly one thread is that thread's last write.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
+import pytest
 
 from conftest import small_config
 from repro import System

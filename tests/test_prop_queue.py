@@ -6,7 +6,6 @@ the original requests occurred" — plus liveness under random timing and
 under cache pressure (eviction hand-offs).
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from conftest import small_config

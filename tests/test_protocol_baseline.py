@@ -1,10 +1,8 @@
 """Integration tests for the baseline and aggressive-baseline schemes
 (paper §3.1, Figure 2)."""
 
-import pytest
-
 from conftest import build_system, run_programs
-from repro.cpu.ops import LL, SC, Compute, Read, Write
+from repro.cpu.ops import LL, SC, Compute
 
 
 def rmw_loop(addr, iters, pc=0xB1, window=6):

@@ -1,10 +1,7 @@
 """Integration tests for the delayed-response scheme (paper §3.2)."""
 
-import pytest
-
 from conftest import build_system, run_programs
 from repro.cpu.ops import LL, SC, Compute, Read, Write
-from repro.sync import fetch_and_add
 
 
 def concurrent_rmw(system, addr, n, iters, window=30):

@@ -6,8 +6,6 @@
   lines with the released lock, paper §6).
 """
 
-import pytest
-
 from conftest import build_system, run_programs
 from repro.cpu.ops import LL, SC, Compute, Read, Write
 from repro.sync import TTSLock, fetch_and_add

@@ -1,11 +1,7 @@
 """Integration tests for Implicit QOLB (paper §3.3-3.4)."""
 
-import pytest
-
-from conftest import build_system, run_programs, small_config
-from repro import System
+from conftest import build_system, run_programs
 from repro.cpu.ops import Compute, Read, Write
-from repro.mem.line import State
 from repro.sync import TTSLock, fetch_and_add
 
 

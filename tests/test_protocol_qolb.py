@@ -1,7 +1,5 @@
 """Integration tests for explicit QOLB (paper §2)."""
 
-import pytest
-
 from conftest import build_system, run_programs
 from repro.cpu.ops import Compute, Read, Write
 from repro.sync import QolbLock

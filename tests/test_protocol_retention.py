@@ -5,10 +5,8 @@ the line travels to the writer with a marker forcing its return, and the
 distributed queue survives intact.
 """
 
-import pytest
-
 from conftest import build_system, run_programs
-from repro.cpu.ops import LL, SC, Compute, Read, Write
+from repro.cpu.ops import Compute, Read, Write
 from repro.sync import TTSLock
 
 

@@ -55,6 +55,15 @@ class TestSweep:
             result.cell("iqolb", 80).cycles > result.cell("iqolb", 20).cycles
         )
 
+    def test_cell_unknown_key_is_descriptive(self):
+        result = sweep(null_cs_factory, ["iqolb"], [2])
+        with pytest.raises(KeyError, match="valid primitive values"):
+            result.cell("mcs", 2)
+        with pytest.raises(KeyError, match="valid procs values"):
+            result.cell("iqolb", 64)
+        message = str(pytest.raises(KeyError, result.cell, "mcs", 64).value)
+        assert "iqolb" in message and "2" in message
+
 
 class TestReport:
     def _result(self, primitive="iqolb"):

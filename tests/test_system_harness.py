@@ -3,7 +3,7 @@
 import pytest
 
 from repro import System, SystemConfig
-from repro.cpu.ops import Compute, Read, Write
+from repro.cpu.ops import Read, Write
 from repro.harness.config import table1_rows
 from repro.harness.layout import MemoryLayout
 from repro.mem.address import AddressMap

@@ -1,9 +1,6 @@
 """Tests for the trace recorder and the figure scenarios."""
 
-import pytest
-
 from repro.harness.traces import (
-    TraceEvent,
     TraceRecorder,
     figure2_scenario,
     figure3_scenario,

@@ -2,9 +2,9 @@
 
 import pytest
 
-from conftest import build_system, main_policy
-from repro.harness.experiment import PRIMITIVES, run_workload
+from conftest import build_system
 from repro.harness.config import SystemConfig
+from repro.harness.experiment import PRIMITIVES, run_workload
 from repro.workloads.base import LOCK_KINDS, LockSet
 from repro.workloads.micro import (
     CollocatedCriticalSection,
