@@ -16,7 +16,7 @@ and asserts them:
 
 import dataclasses
 
-from conftest import once, publish
+from conftest import once, publish, publish_metrics
 from repro.harness.config import SystemConfig
 from repro.harness.experiment import PRIMITIVES, run_workload
 from repro.harness.tables import render_table
@@ -43,7 +43,8 @@ def measure(
     n_processors: int = 16,
     increments: int = 30,
     acquires: int = 20,
-) -> Row:
+):
+    """Returns the figure row plus the raw (rmw, lock) RunResults."""
     policy, lock_kind = PRIMITIVES[primitive]
     config = SystemConfig(n_processors=n_processors, policy=policy)
 
@@ -57,7 +58,7 @@ def measure(
     lock_run = run_workload(lock, config, primitive=primitive)
     total_acquires = n_processors * acquires
 
-    return Row(
+    row = Row(
         primitive=primitive,
         rmw_cycles=rmw.cycles,
         rmw_txns_per_update=rmw.bus_transactions / updates,
@@ -67,20 +68,27 @@ def measure(
         tearoffs=lock_run.stat("tearoffs_sent"),
         release_handoffs=lock_run.stat("handoff_release"),
     )
+    return row, [rmw, lock_run]
 
 
 def run_all(n_processors: int = 16, increments: int = 30, acquires: int = 20):
-    return {
-        prim: measure(prim, n_processors, increments, acquires)
-        for prim in ["tts"] + POLICY_PRIMS
-    }
+    """(primitive -> Row, grid of every raw RunResult keyed for export)."""
+    rows = {}
+    grid = {}
+    for prim in ["tts"] + POLICY_PRIMS:
+        row, results = measure(prim, n_processors, increments, acquires)
+        rows[prim] = row
+        grid[(prim, "rmw")] = results[0]
+        grid[(prim, "lock")] = results[1]
+    return rows, grid
 
 
 def test_fig1_taxonomy(benchmark, smoke):
     if smoke:
-        rows = once(benchmark, run_all, 4, 10, 8)
+        rows, grid = once(benchmark, run_all, 4, 10, 8)
     else:
-        rows = once(benchmark, run_all)
+        rows, grid = once(benchmark, run_all)
+    publish_metrics("fig1_taxonomy", grid)
     n_procs = 4 if smoke else 16
     table = render_table(
         ["method", "RMW cyc", "txns/RMW", "SC fails",

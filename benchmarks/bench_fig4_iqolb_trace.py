@@ -7,7 +7,7 @@ the line handed to the next requestor by the *release store* — not the
 acquire SC, and not a timeout.
 """
 
-from conftest import once, publish
+from conftest import once, publish, publish_chrome_trace
 from repro.harness.traces import figure4_scenario
 
 
@@ -17,6 +17,8 @@ def test_fig4_iqolb_sequence(benchmark):
         "fig4_trace",
         result.render(limit=100) + "\n\nsummary: " + repr(result.summary),
     )
+    # Machine-readable twin: the same run as a Perfetto-loadable trace.
+    publish_chrome_trace("fig4", result.recorder.events)
     s = result.summary
 
     # Mutual exclusion held across all critical sections.

@@ -14,7 +14,7 @@ paper's qualitative claims:
   reproduction's different substrate.
 """
 
-from conftest import PAPER_TABLE3, once, publish
+from conftest import PAPER_TABLE3, RESULTS_DIR, once, publish
 from repro.harness.experiment import table3_with_stats
 from repro.harness.tables import render_table3
 
@@ -27,6 +27,7 @@ SMOKE_MODEL = {"total_work": 320}
 def test_table3_regenerates(benchmark, smoke, jobs, result_cache):
     n_procs = SMOKE_PROCS if smoke else 32
     overrides = SMOKE_MODEL if smoke else None
+    RESULTS_DIR.mkdir(exist_ok=True)
     rows, stats = once(
         benchmark,
         table3_with_stats,
@@ -34,6 +35,7 @@ def test_table3_regenerates(benchmark, smoke, jobs, result_cache):
         n_jobs=jobs,
         cache=result_cache,
         model_overrides=overrides,
+        metrics_out=str(RESULTS_DIR / "BENCH_table3.json"),
     )
     text = render_table3(rows, n_processors=n_procs)
     lines = [text, "", stats.summary(), "", "paper-vs-measured:"]

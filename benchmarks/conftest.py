@@ -25,6 +25,7 @@ import pathlib
 import pytest
 
 from repro.harness.cache import ResultCache
+from repro.telemetry import ChromeTraceSink, replay, write_metrics
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
@@ -71,6 +72,27 @@ def publish(name: str, text: str) -> None:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def publish_metrics(name, results, runner_stats=None) -> pathlib.Path:
+    """Persist a machine-readable metrics document under results/.
+
+    ``results`` is a grid (key -> RunResult) or an iterable of
+    RunResults; the artefact conforms to
+    ``tests/schemas/metrics.schema.json``.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    write_metrics(path, results, runner_stats)
+    return path
+
+
+def publish_chrome_trace(name, events) -> pathlib.Path:
+    """Persist recorded telemetry events as a Chrome trace under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.trace.json"
+    replay(events, ChromeTraceSink(path))
+    return path
 
 
 @pytest.fixture

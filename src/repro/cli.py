@@ -7,8 +7,14 @@ Gives the paper's experiments a front door::
     python -m repro table3 -p 16 raytrace # (a slice of) Table 3
     python -m repro figure 4              # sequence diagram of Fig. 2/3/4
     python -m repro run raytrace --primitive iqolb -p 16
+    python -m repro trace fig4 --out run.trace.json   # Perfetto-loadable
+    python -m repro stats raytrace -p 16  # latency percentiles + manifest
+    python -m repro validate run.trace.json --schema tests/schemas/...
     python -m repro fairness --primitive tts iqolb qolb
     python -m repro policies              # list protocol policies
+
+Tables and reports go to **stdout**; progress/cache diagnostics go to
+**stderr**, so stdout can be piped into files or ``jq`` cleanly.
 """
 
 from __future__ import annotations
@@ -31,9 +37,18 @@ from repro.harness.tables import (
     render_table3,
 )
 from repro.harness.traces import (
+    SCENARIOS,
     figure2_scenario,
     figure3_scenario,
     figure4_scenario,
+)
+from repro.telemetry import (
+    ChromeTraceSink,
+    JsonlSink,
+    SchemaError,
+    TraceDispatcher,
+    validate_file,
+    write_metrics,
 )
 from repro.workloads.splash import APP_ORDER
 
@@ -64,10 +79,11 @@ def _cmd_table3(args: argparse.Namespace) -> int:
         apps=apps,
         n_jobs=args.jobs,
         cache=cache,
+        metrics_out=args.metrics_out,
     )
     print(render_table3(rows, n_processors=args.processors))
-    print()
-    print(stats.summary())
+    # Diagnostics to stderr: piped stdout stays clean table data.
+    stats.print_summary()
     return 0
 
 
@@ -94,6 +110,93 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     result = run_app(args.app, args.primitive, args.processors)
     print(render_report(result))
+    if args.metrics_out:
+        write_metrics(args.metrics_out, [result])
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.format == "chrome":
+        sink = ChromeTraceSink(args.out)
+    else:
+        sink = JsonlSink(args.out)
+    if args.scenario in SCENARIOS:
+        scenario = SCENARIOS[args.scenario]
+        result = scenario(sinks=[sink])
+        sink.close()
+        events = len(result.recorder.events)
+        for key, value in result.summary.items():
+            print(f"  {key}: {value}")
+    elif args.scenario in APP_ORDER:
+        dispatcher = TraceDispatcher()
+        dispatcher.attach(sink)
+        result = run_app(
+            args.scenario,
+            args.primitive,
+            args.processors,
+            telemetry=dispatcher,
+        )
+        dispatcher.close()
+        events = dispatcher.events_dispatched
+        print(f"  cycles: {result.cycles}")
+        print(f"  bus transactions: {result.bus_transactions}")
+    else:
+        raise SystemExit(
+            f"unknown scenario {args.scenario!r} "
+            f"(choose from {', '.join(SCENARIOS)} or "
+            f"{', '.join(APP_ORDER)})"
+        )
+    print(
+        f"wrote {events} events to {args.out} ({args.format})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.harness.report import histogram_rows
+
+    result = run_app(args.app, args.primitive, args.processors)
+    rows = histogram_rows(result)
+    if rows:
+        print(
+            render_table(
+                ["histogram", "n", "min", "mean", "p50", "p90", "p99", "max"],
+                rows,
+                title=(
+                    f"{args.app} on {args.primitive}, "
+                    f"{args.processors} processors — latency distributions "
+                    f"(cycles)"
+                ),
+            )
+        )
+    else:
+        print("no histogram samples recorded")
+    manifest = result.manifest
+    if manifest is not None:
+        print()
+        print("manifest:")
+        print(f"  config hash: {manifest.config_hash[:16]}…")
+        print(f"  version: {manifest.version}")
+        print(f"  events fired: {manifest.events_fired}")
+        print(f"  events/host-s: {manifest.events_per_host_s:,.0f}")
+        print(f"  queue high water: {manifest.queue_high_water}")
+        print(f"  wall time: {manifest.wall_time_s:.3f}s")
+    if args.metrics_out:
+        write_metrics(args.metrics_out, [result])
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        records = validate_file(args.file, args.schema)
+    except (OSError, ValueError, SchemaError) as exc:
+        # unreadable file, malformed JSON, or schema mismatch
+        print(f"FAIL {args.file}: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK {args.file}: {records} record(s) match {args.schema}")
     return 0
 
 
@@ -139,6 +242,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="worker processes for the sweep (default 1)")
     p3.add_argument("--no-cache", action="store_true",
                     help="ignore and do not update the on-disk result cache")
+    p3.add_argument("--metrics-out", metavar="PATH",
+                    help="also write the per-cell grid as metrics JSON")
 
     pf = sub.add_parser("figure", help="render a sequence figure (2, 3 or 4)")
     pf.add_argument("number", type=int, choices=(2, 3, 4))
@@ -147,6 +252,40 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("app", choices=APP_ORDER)
     pr.add_argument("--primitive", default="iqolb", choices=sorted(PRIMITIVES))
     pr.add_argument("-p", "--processors", type=int, default=32)
+    pr.add_argument("--metrics-out", metavar="PATH",
+                    help="also write counters/histograms/manifest as JSON")
+
+    pt = sub.add_parser(
+        "trace", help="record a structured event trace of a run"
+    )
+    pt.add_argument("scenario",
+                    help="fig2, fig3, fig4, or a benchmark name")
+    pt.add_argument("--out", required=True, metavar="PATH",
+                    help="trace file to write")
+    pt.add_argument("--format", default="chrome",
+                    choices=("chrome", "jsonl"),
+                    help="chrome trace_event JSON (Perfetto-loadable) "
+                         "or JSON Lines (default: chrome)")
+    pt.add_argument("--primitive", default="iqolb",
+                    choices=sorted(PRIMITIVES),
+                    help="primitive for benchmark scenarios")
+    pt.add_argument("-p", "--processors", type=int, default=8)
+
+    ps = sub.add_parser(
+        "stats", help="latency percentiles and run manifest for one run"
+    )
+    ps.add_argument("app", choices=APP_ORDER)
+    ps.add_argument("--primitive", default="iqolb", choices=sorted(PRIMITIVES))
+    ps.add_argument("-p", "--processors", type=int, default=32)
+    ps.add_argument("--metrics-out", metavar="PATH",
+                    help="also write counters/histograms/manifest as JSON")
+
+    pv = sub.add_parser(
+        "validate", help="validate a telemetry artifact against a JSON schema"
+    )
+    pv.add_argument("file", help=".json or .jsonl artifact to check")
+    pv.add_argument("--schema", required=True, metavar="PATH",
+                    help="JSON-Schema file (see tests/schemas/)")
 
     pq = sub.add_parser("fairness", help="measure lock fairness")
     pq.add_argument("--primitive", nargs="+", default=["tts", "iqolb", "qolb"],
@@ -166,6 +305,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table3": _cmd_table3,
         "figure": _cmd_figure,
         "run": _cmd_run,
+        "trace": _cmd_trace,
+        "stats": _cmd_stats,
+        "validate": _cmd_validate,
         "fairness": _cmd_fairness,
         "policies": _cmd_policies,
     }[args.command]

@@ -833,6 +833,14 @@ class CacheController(BusClient):
         line.pinned = False
         self._count("handoffs")
         self._count(f"handoff_{reason}")
+        if obligation is not None:
+            # Lock-handoff latency: cycles between taking on the deferral
+            # obligation and forwarding ownership — the paper's bounded
+            # deferral window, observed rather than assumed.
+            self.stats.histogram("handoff.defer_cycles").add(
+                self.sim.now - obligation.created
+            )
+        self.stats.windowed("handoff.rate").record(self.sim.now)
         self._trace("handoff", line_addr, to=successor, reason=reason)
         self._send_line(successor, line, GrantState.EXCLUSIVE)
         self.hierarchy.drop(line_addr)

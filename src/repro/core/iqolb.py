@@ -111,6 +111,13 @@ class IqolbPolicy(ProtocolPolicy):
             # will be held through the critical section (tear-off); a
             # Fetch&Phi forwards right after the SC (no tear-off).
             is_lock = self.predictor.predict_lock(ctrl.current_ll_pc)
+            self.trace(
+                "predict",
+                line_addr,
+                pc=ctrl.current_ll_pc,
+                lock=is_lock,
+                site="defer",
+            )
             return DeferDecision(defer=True, tearoff=is_lock)
         return SUPPLY_NOW
 
@@ -131,7 +138,15 @@ class IqolbPolicy(ProtocolPolicy):
         discarded = self.held.insert(addr, pc, ctrl.sim.now)
         if discarded is not None:
             ctrl.stats.counter(f"ctrl{ctrl.node_id}.held_discards").inc()
-        if self.predictor.predict_lock(pc):
+        is_lock = self.predictor.predict_lock(pc)
+        self.trace(
+            "predict",
+            ctrl.amap.line_addr(addr),
+            pc=pc,
+            lock=is_lock,
+            site="sc",
+        )
+        if is_lock:
             # Predicted lock acquire: keep the line; delay requestors
             # until the release store.
             return False

@@ -62,6 +62,15 @@ class ProtocolPolicy:
         """Attach this policy instance to its controller."""
         self.ctrl = ctrl
 
+    def trace(self, kind: str, line_addr: int, **info: object) -> None:
+        """Emit a telemetry event through the controller's dispatch point.
+
+        Free when no tracer is attached (a single ``is None`` check), so
+        policies may narrate speculative decisions unconditionally.
+        """
+        if self.ctrl is not None:
+            self.ctrl._trace(kind, line_addr, **info)
+
     # ------------------------------------------------------------------
     # Request-side speculation
     # ------------------------------------------------------------------

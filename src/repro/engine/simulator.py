@@ -8,7 +8,8 @@ paper's Table 1 which expresses all latencies in processor cycles.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+import time as _time
+from typing import Any, Callable, Dict, Optional
 
 from repro.engine.event import Event, EventQueue
 
@@ -31,6 +32,8 @@ class Simulator:
         self._queue = EventQueue()
         self._events_fired = 0
         self._running = False
+        self._queue_high_water = 0
+        self._host_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -49,7 +52,10 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        return self._queue.push(self.now + delay, callback, args, priority)
+        event = self._queue.push(self.now + delay, callback, args, priority)
+        if len(self._queue) > self._queue_high_water:
+            self._queue_high_water = len(self._queue)
+        return event
 
     def schedule_at(
         self,
@@ -61,7 +67,10 @@ class Simulator:
         """Schedule ``callback(*args)`` at absolute ``time`` (>= now)."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
-        return self._queue.push(time, callback, args, priority)
+        event = self._queue.push(time, callback, args, priority)
+        if len(self._queue) > self._queue_high_water:
+            self._queue_high_water = len(self._queue)
+        return event
 
     def cancel(self, event: Event) -> None:
         """Cancel an event previously returned by ``schedule``."""
@@ -80,6 +89,7 @@ class Simulator:
         protocol) into a detectable outcome instead of a hang.
         """
         self._running = True
+        started = _time.perf_counter()
         try:
             while self._queue:
                 event = self._queue.pop()
@@ -97,6 +107,7 @@ class Simulator:
                     break
         finally:
             self._running = False
+            self._host_seconds += _time.perf_counter() - started
         return self.now
 
     def step(self) -> bool:
@@ -120,3 +131,27 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         return len(self._queue)
+
+    @property
+    def queue_high_water(self) -> int:
+        """The deepest the event queue has ever been."""
+        return self._queue_high_water
+
+    @property
+    def host_seconds(self) -> float:
+        """Host wall time spent inside :meth:`run` so far."""
+        return self._host_seconds
+
+    def self_metrics(self) -> Dict[str, float]:
+        """The kernel's own health metrics, for manifests and reports."""
+        per_s = (
+            self._events_fired / self._host_seconds
+            if self._host_seconds > 0
+            else 0.0
+        )
+        return {
+            "events_fired": self._events_fired,
+            "queue_high_water": self._queue_high_water,
+            "host_seconds": self._host_seconds,
+            "events_per_host_s": per_s,
+        }

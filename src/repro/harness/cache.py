@@ -22,7 +22,6 @@ Key properties:
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
 import os
 import pathlib
@@ -31,9 +30,21 @@ from typing import Any, Optional
 
 import repro
 from repro.harness.experiment import RunResult
+from repro.telemetry.manifest import RunManifest, canonical, stable_hash
+
+__all__ = [
+    "ENTRY_SCHEMA",
+    "ResultCache",
+    "canonical",
+    "default_cache_dir",
+    "result_from_dict",
+    "result_to_dict",
+    "stable_hash",
+]
 
 #: Schema version of the stored entries; bump on RunResult shape changes.
-ENTRY_SCHEMA = 1
+#: v2: RunResult carries histogram digests and a RunManifest.
+ENTRY_SCHEMA = 2
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -44,39 +55,8 @@ def default_cache_dir() -> pathlib.Path:
     return pathlib.Path.home() / ".cache" / "repro-iqolb"
 
 
-def canonical(obj: Any) -> Any:
-    """Reduce *obj* to a JSON-encodable form with deterministic ordering.
-
-    Dataclasses become tagged dicts, mappings are key-sorted, callables
-    are named by module + qualname, and anything else falls back to
-    ``repr``.  The encoding only needs to be *stable*, not invertible.
-    """
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        fields = {
-            f.name: canonical(getattr(obj, f.name))
-            for f in dataclasses.fields(obj)
-        }
-        return {"__dataclass__": type(obj).__qualname__, **fields}
-    if isinstance(obj, dict):
-        return {
-            str(key): canonical(value)
-            for key, value in sorted(obj.items(), key=lambda kv: str(kv[0]))
-        }
-    if isinstance(obj, (list, tuple)):
-        return [canonical(item) for item in obj]
-    if isinstance(obj, (str, int, float, bool)) or obj is None:
-        return obj
-    if callable(obj):
-        module = getattr(obj, "__module__", "?")
-        qualname = getattr(obj, "__qualname__", repr(obj))
-        return f"{module}.{qualname}"
-    return repr(obj)
-
-
-def stable_hash(payload: Any) -> str:
-    """SHA-256 hex digest of the canonical JSON encoding of *payload*."""
-    text = json.dumps(canonical(payload), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+# canonical() and stable_hash() live in repro.telemetry.manifest (shared
+# with run manifests) and are re-exported here for backwards compatibility.
 
 
 def result_to_dict(result: RunResult) -> dict:
@@ -92,6 +72,8 @@ def result_from_dict(data: dict) -> RunResult:
         bus_transactions=data["bus_transactions"],
         stats={str(k): v for k, v in data["stats"].items()},
         wall_time_s=data.get("wall_time_s", 0.0),
+        histograms=data.get("histograms") or {},
+        manifest=RunManifest.from_dict(data.get("manifest")),
     )
 
 
@@ -150,6 +132,8 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        if result.manifest is not None:
+            result.manifest.cache_hit = True
         return result
 
     def put(self, key: str, result: RunResult) -> None:

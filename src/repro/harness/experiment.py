@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.harness.config import SystemConfig
 from repro.harness.system import System
+from repro.telemetry.manifest import RunManifest, workload_seed
 from repro.workloads.base import Workload
 from repro.workloads.splash import APP_ORDER, make_app
 
@@ -60,6 +61,13 @@ class RunResult:
     #: Host seconds the simulation took; excluded from equality so that
     #: serial, parallel and cached runs of the same cell compare equal.
     wall_time_s: float = dataclasses.field(default=0.0, compare=False)
+    #: Log-bucketed histogram digests (``StatsRegistry.histogram_snapshot``)
+    #: — deterministic, so they participate in equality like counters do.
+    histograms: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Provenance record; host- and wall-time-dependent, never compared.
+    manifest: Optional[RunManifest] = dataclasses.field(
+        default=None, compare=False
+    )
 
     def stat(self, suffix: str) -> int:
         """Sum of all per-node counters ending in ``.suffix``."""
@@ -75,15 +83,35 @@ def run_workload(
     primitive: str = "tts",
     tracer: Optional[Callable[..., None]] = None,
     verify: bool = True,
+    telemetry: Optional[Any] = None,
 ) -> RunResult:
-    """Build a system, run a workload on a primitive, verify, report."""
+    """Build a system, run a workload on a primitive, verify, report.
+
+    ``telemetry``, when given, is a
+    :class:`~repro.telemetry.tracer.TraceDispatcher` wired to every
+    emitter in the system for the duration of the run.
+    """
+    import repro
+
     start = time.perf_counter()
     policy, _lock_kind = PRIMITIVES[primitive]
-    system = System(config.with_(policy=policy), tracer=tracer)
+    run_config = config.with_(policy=policy)
+    system = System(run_config, tracer=tracer)
+    if telemetry is not None:
+        system.attach_telemetry(telemetry)
     workload.build(system)
     cycles = system.run()
     if verify:
         workload.verify(system)
+    wall_time_s = time.perf_counter() - start
+    manifest = RunManifest.collect(
+        config=run_config,
+        version=repro.__version__,
+        seed=workload_seed(workload),
+        wall_time_s=wall_time_s,
+        events_fired=system.sim.events_fired,
+        queue_high_water=system.sim.queue_high_water,
+    )
     return RunResult(
         workload=workload.name,
         primitive=primitive,
@@ -91,7 +119,9 @@ def run_workload(
         cycles=cycles,
         bus_transactions=system.bus_transactions(),
         stats=system.stats.snapshot(),
-        wall_time_s=time.perf_counter() - start,
+        wall_time_s=wall_time_s,
+        histograms=system.stats.histogram_snapshot(),
+        manifest=manifest,
     )
 
 
@@ -101,6 +131,7 @@ def run_app(
     n_processors: int,
     model_overrides: Optional[dict] = None,
     config_overrides: Optional[dict] = None,
+    telemetry: Optional[Any] = None,
 ) -> RunResult:
     """Run one synthetic SPLASH-2 model under one primitive."""
     policy, lock_kind = PRIMITIVES[primitive]
@@ -108,7 +139,9 @@ def run_app(
     config = SystemConfig(n_processors=n_processors, policy=policy)
     if config_overrides:
         config = config.with_(**config_overrides)
-    return run_workload(app, config, primitive=primitive, verify=False)
+    return run_workload(
+        app, config, primitive=primitive, verify=False, telemetry=telemetry
+    )
 
 
 @dataclasses.dataclass
@@ -196,17 +229,23 @@ def table3_with_stats(
     n_jobs: int = 1,
     cache: Optional["ResultCache"] = None,
     model_overrides: Optional[dict] = None,
+    metrics_out: Optional[str] = None,
 ) -> Tuple[List[Table3Row], "RunnerStats"]:
     """Reproduce Table 3 through the parallel runner.
 
     Returns the rows plus the :class:`~repro.harness.runner.RunnerStats`
-    (simulated vs. cache-hit cell counts) for the batch.
+    (simulated vs. cache-hit cell counts) for the batch.  With
+    ``metrics_out``, the full per-cell grid — counters, histogram
+    percentiles and run manifests — is also written as ``metrics.json``.
     """
     from repro.harness.runner import run_cells
+    from repro.telemetry.export import write_metrics
 
     names = apps if apps is not None else APP_ORDER
     cells = table3_cells(n_processors, names, model_overrides)
     grid, stats = run_cells(cells, n_jobs=n_jobs, cache=cache)
+    if metrics_out is not None:
+        write_metrics(metrics_out, grid, stats)
     rows = []
     for name in names:
         uni = grid[(name, "uni")]

@@ -58,6 +58,27 @@ def report_rows(result: RunResult) -> List[Tuple[str, str, int]]:
     return rows
 
 
+def histogram_rows(result: RunResult) -> List[Tuple]:
+    """Percentile rows for each non-empty latency histogram."""
+    rows = []
+    for name, digest in sorted((result.histograms or {}).items()):
+        if "count" not in digest or not digest["count"]:
+            continue  # empty, or a windowed-counter digest
+        rows.append(
+            (
+                name,
+                digest["count"],
+                digest["min"],
+                f"{digest['mean']:.1f}",
+                digest["p50"],
+                digest["p90"],
+                digest["p99"],
+                digest["max"],
+            )
+        )
+    return rows
+
+
 def render_report(result: RunResult) -> str:
     """A full text report for one run."""
     header = (
@@ -69,8 +90,22 @@ def render_report(result: RunResult) -> str:
         report_rows(result),
         title=header,
     )
+    lines = [table]
+    latency_rows = histogram_rows(result)
+    if latency_rows:
+        lines.extend(
+            [
+                "",
+                render_table(
+                    ["histogram", "n", "min", "mean", "p50", "p90", "p99",
+                     "max"],
+                    latency_rows,
+                    title="latency distributions (cycles)",
+                ),
+            ]
+        )
     derived = _derived_metrics(result)
-    lines = [table, "", "derived:"]
+    lines.extend(["", "derived:"])
     lines.extend(f"  {name}: {value}" for name, value in derived)
     return "\n".join(lines)
 

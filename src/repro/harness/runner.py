@@ -19,8 +19,9 @@ from __future__ import annotations
 import concurrent.futures
 import dataclasses
 import pickle
+import sys
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO, Tuple
 
 from repro.harness.cache import ResultCache
 from repro.harness.config import SystemConfig
@@ -123,6 +124,14 @@ class RunnerStats:
             f"{self.cache_hits} cache hits "
             f"({self.n_jobs} jobs, {self.wall_time_s:.2f}s wall)"
         )
+
+    def print_summary(self, file: Optional[TextIO] = None) -> None:
+        """Print the summary to *file* (default **stderr**).
+
+        Diagnostics go to stderr so that piping a command's stdout (e.g.
+        ``repro table3 --format json | jq``) yields clean JSON.
+        """
+        print(self.summary(), file=file if file is not None else sys.stderr)
 
 
 def execute_cell(spec: CellSpec) -> RunResult:

@@ -156,6 +156,25 @@ class System:
     def _thread_done(self, thread: SimThread) -> None:
         self._remaining -= 1
 
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, dispatcher: Any) -> Any:
+        """Wire every emitter in the system to a trace dispatcher.
+
+        ``dispatcher`` is a :class:`repro.telemetry.TraceDispatcher` (or
+        anything exposing ``controller_hook``/``bus_hook``).  Returns the
+        dispatcher for chaining.  Pass ``None`` to detach everything.
+        """
+        controller_hook = (
+            dispatcher.controller_hook if dispatcher is not None else None
+        )
+        bus_hook = dispatcher.bus_hook if dispatcher is not None else None
+        for controller in self.controllers:
+            controller.tracer = controller_hook
+        self.bus.observer = bus_hook
+        return dispatcher
+
     def _memory_receiver(self, msg: Any) -> None:  # pragma: no cover
         raise RuntimeError(f"unexpected crossbar delivery to memory: {msg}")
 

@@ -1,65 +1,61 @@
 """Protocol trace recording and the paper's sequence figures.
 
 The paper's Figures 2, 3 and 4 are time-sequence diagrams of the
-baseline, delayed-response and IQOLB protocols.  This module records the
-actual event streams of the simulator (bus transactions, deferrals,
-tear-offs, hand-offs, LL/SC outcomes) and replays the figures' scenarios,
-returning both a printable trace and a structured summary that the
-benches and tests assert against.
+baseline, delayed-response and IQOLB protocols.  This module replays the
+figures' scenarios on the unified telemetry backbone
+(:mod:`repro.telemetry`): a :class:`TraceRecorder` is simply an
+in-memory :class:`~repro.telemetry.sinks.TraceSink` with filtering and
+rendering helpers, attached — alongside any other sinks the caller
+supplies (JSONL, Chrome trace) — to the system's
+:class:`~repro.telemetry.tracer.TraceDispatcher`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.cpu.ops import LL, SC, Compute, Read, Write
 from repro.harness.config import SystemConfig
 from repro.harness.system import System
 from repro.sync.tts import TTSLock
+from repro.telemetry import TelemetryEvent, TraceDispatcher, TraceSink
+
+#: Back-compat alias: the recorder's event type is the telemetry event.
+TraceEvent = TelemetryEvent
 
 
-@dataclasses.dataclass
-class TraceEvent:
-    """One recorded protocol event."""
+class TraceRecorder(TraceSink):
+    """An in-memory sink with the filtering/rendering API tests use.
 
-    time: int
-    node: int
-    kind: str
-    line_addr: int
-    info: Dict[str, Any]
+    A recorder owns a :class:`TraceDispatcher` and attaches itself as the
+    first sink, so it can be used either standalone (call the hooks
+    directly) or as the hub other sinks join via ``attach``/``sinks=``.
+    """
 
-    def render(self) -> str:
-        extra = " ".join(f"{k}={v}" for k, v in sorted(self.info.items()))
-        return f"{self.time:>8}  P{self.node:<2} {self.kind:<16} {extra}"
+    def __init__(self, sinks: Iterable[TraceSink] = ()) -> None:
+        self.events: List[TelemetryEvent] = []
+        self.dispatcher = TraceDispatcher()
+        self.dispatcher.attach(self)
+        for sink in sinks:
+            self.dispatcher.attach(sink)
 
-
-class TraceRecorder:
-    """Collects controller and bus events during a run."""
-
-    def __init__(self) -> None:
-        self.events: List[TraceEvent] = []
+    # TraceSink interface -------------------------------------------------
+    def emit(self, event: TelemetryEvent) -> None:
+        self.events.append(event)
 
     # hook signatures match CacheController.tracer and AddressBus.observer
     def controller_hook(
         self, event: str, time: int, node: int, line_addr: int, info: dict
     ) -> None:
-        self.events.append(TraceEvent(time, node, event, line_addr, dict(info)))
+        self.dispatcher.controller_hook(event, time, node, line_addr, info)
 
     def bus_hook(self, time, txn, supplier, shared, deferred) -> None:
-        self.events.append(
-            TraceEvent(
-                time,
-                txn.requester,
-                f"bus:{txn.op.value}",
-                txn.line_addr,
-                {"supplier": supplier, "shared": shared, "deferred": deferred},
-            )
-        )
+        self.dispatcher.bus_hook(time, txn, supplier, shared, deferred)
 
     def filtered(
         self, line_addr: Optional[int] = None, kinds: Optional[List[str]] = None
-    ) -> List[TraceEvent]:
+    ) -> List[TelemetryEvent]:
         out = self.events
         if line_addr is not None:
             out = [e for e in out if e.line_addr == line_addr]
@@ -93,24 +89,27 @@ class ScenarioResult:
         return self.recorder.render(line_addr=self.target_line, limit=limit)
 
 
-def _traced_system(policy: str, n_processors: int) -> (System, TraceRecorder):
-    recorder = TraceRecorder()
-    system = System(
-        SystemConfig(n_processors=n_processors, policy=policy),
-        tracer=recorder.controller_hook,
-    )
-    system.bus.observer = recorder.bus_hook
+def _traced_system(
+    policy: str,
+    n_processors: int,
+    sinks: Iterable[TraceSink] = (),
+) -> Tuple[System, TraceRecorder]:
+    recorder = TraceRecorder(sinks=sinks)
+    system = System(SystemConfig(n_processors=n_processors, policy=policy))
+    system.attach_telemetry(recorder.dispatcher)
     return system, recorder
 
 
-def figure2_scenario(rmw_per_proc: int = 4) -> ScenarioResult:
+def figure2_scenario(
+    rmw_per_proc: int = 4, sinks: Iterable[TraceSink] = ()
+) -> ScenarioResult:
     """Figure 2: traditional LL/SC sequence (2 processors).
 
     Both processors hold the line Shared, LL it, and race their SC
     upgrades; the loser's link is reset by the winner's invalidation and
     it must retry — two network transactions per successful RMW.
     """
-    system, recorder = _traced_system("baseline", 2)
+    system, recorder = _traced_system("baseline", 2, sinks)
     addr = system.layout.alloc_line()
     target_line = system.amap.line_addr(addr)
 
@@ -143,13 +142,17 @@ def figure2_scenario(rmw_per_proc: int = 4) -> ScenarioResult:
     return ScenarioResult(recorder, system, target_line, summary)
 
 
-def figure3_scenario(n_processors: int = 3, rmw_per_proc: int = 4) -> ScenarioResult:
+def figure3_scenario(
+    n_processors: int = 3,
+    rmw_per_proc: int = 4,
+    sinks: Iterable[TraceSink] = (),
+) -> ScenarioResult:
     """Figure 3: LL/SC with delayed response (3 processors).
 
     Concurrent LPRFOs build a queue; each processor's exclusive response
     is delayed until its predecessor's SC completes; nobody retries.
     """
-    system, recorder = _traced_system("delayed", n_processors)
+    system, recorder = _traced_system("delayed", n_processors, sinks)
     addr = system.layout.alloc_line()
     target_line = system.amap.line_addr(addr)
 
@@ -179,7 +182,9 @@ def figure3_scenario(n_processors: int = 3, rmw_per_proc: int = 4) -> ScenarioRe
 
 
 def figure4_scenario(
-    n_processors: int = 3, acquires_per_proc: int = 4
+    n_processors: int = 3,
+    acquires_per_proc: int = 4,
+    sinks: Iterable[TraceSink] = (),
 ) -> ScenarioResult:
     """Figure 4: the IQOLB sequence (3 processors, lock + critical section).
 
@@ -188,7 +193,7 @@ def figure4_scenario(
     copies to the waiters, local spinning, and the line handed to the
     next requestor by the *release store*.
     """
-    system, recorder = _traced_system("iqolb", n_processors)
+    system, recorder = _traced_system("iqolb", n_processors, sinks)
     lock = TTSLock(system.layout.alloc_line())
     target_line = system.amap.line_addr(lock.addr)
     data = system.layout.alloc_line()
@@ -224,3 +229,11 @@ def figure4_scenario(
         "acquires": n_processors * (acquires_per_proc + 1),
     }
     return ScenarioResult(recorder, system, target_line, summary)
+
+
+#: The figure scenarios by CLI name (used by ``repro trace``).
+SCENARIOS = {
+    "fig2": figure2_scenario,
+    "fig3": figure3_scenario,
+    "fig4": figure4_scenario,
+}

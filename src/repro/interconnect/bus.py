@@ -78,6 +78,8 @@ class AddressBus:
         self._line_wait: Dict[int, Deque[BusTransaction]] = {}
         #: optional trace hook: observer(time, txn, supplier, shared, deferred)
         self.observer: Optional[Callable[..., None]] = None
+        #: per-bus transaction numbering, deterministic run to run
+        self._next_txn_id = 0
 
     def attach(self, node_id: int, client: "BusClient") -> None:
         self._clients[node_id] = client
@@ -88,6 +90,10 @@ class AddressBus:
     # ------------------------------------------------------------------
     def request(self, txn: BusTransaction) -> None:
         """Enqueue a transaction for arbitration (FIFO)."""
+        if txn.request_time is None:
+            txn.request_time = self.sim.now
+            txn.txn_id = self._next_txn_id
+            self._next_txn_id += 1
         self._queue.append(txn)
         self.stats.counter("bus.requests").inc()
         self._pump()
@@ -120,8 +126,13 @@ class AddressBus:
             return
         self._next_issue_time = self.sim.now + self.issue_interval
         txn.issue_time = self.sim.now
+        if txn.request_time is not None:
+            self.stats.histogram("bus.arb_wait").add(
+                self.sim.now - txn.request_time
+            )
         self.stats.counter("bus.transactions").inc()
         self.stats.counter(f"bus.{txn.op.value}").inc()
+        self.stats.windowed("bus.txn_rate").record(self.sim.now)
         if txn.op in DATA_OPS:
             self._outstanding += 1
             # Block the line until the fill lands (or the response turns

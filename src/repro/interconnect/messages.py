@@ -50,6 +50,7 @@ class BusTransaction:
         "op",
         "line_addr",
         "requester",
+        "request_time",
         "issue_time",
         "data",
         "cancelled",
@@ -57,11 +58,14 @@ class BusTransaction:
     )
 
     def __init__(self, op: BusOp, line_addr: int, requester: int) -> None:
+        # Provisional id; the bus re-stamps a per-run sequence number at
+        # first request() so ids are deterministic run to run.
         self.txn_id = BusTransaction._next_id
         BusTransaction._next_id += 1
         self.op = op
         self.line_addr = line_addr
         self.requester = requester
+        self.request_time: Optional[int] = None  # stamped at bus.request()
         self.issue_time: Optional[int] = None
         self.data: Optional[List[int]] = None  # payload for writebacks
         #: set by the requester to withdraw a queued transaction (e.g. an

@@ -1,0 +1,119 @@
+"""Structured trace events and their named categories.
+
+Every instrumentation point in the simulator — the cache controller's
+protocol actions, the address bus's transaction stream, the predictor's
+decisions — reduces to one :class:`TelemetryEvent`.  The ``kind`` is the
+fine-grained event name the component emits (``handoff``, ``tearoff``,
+``bus:LPRFO``); the ``category`` is the coarse channel sinks and
+consumers filter on (``deferral``, ``handoff``, ``bus``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+#: The named event categories of the tracing backbone.
+CAT_BUS = "bus"
+CAT_COHERENCE = "coherence"
+CAT_LLSC = "llsc"
+CAT_DEFERRAL = "deferral"
+CAT_TEAROFF = "tearoff"
+CAT_HANDOFF = "handoff"
+CAT_LOCK = "lock"
+CAT_PREDICTOR = "predictor"
+
+CATEGORIES = (
+    CAT_BUS,
+    CAT_COHERENCE,
+    CAT_LLSC,
+    CAT_DEFERRAL,
+    CAT_TEAROFF,
+    CAT_HANDOFF,
+    CAT_LOCK,
+    CAT_PREDICTOR,
+)
+
+#: controller/policy event kind -> category
+_CATEGORY_OF: Dict[str, str] = {
+    # LL/SC architectural events
+    "ll": CAT_LLSC,
+    "sc": CAT_LLSC,
+    # plain coherence actions
+    "store": CAT_COHERENCE,
+    "swap": CAT_COHERENCE,
+    "fill": CAT_COHERENCE,
+    "loan": CAT_COHERENCE,
+    "loan_return": CAT_COHERENCE,
+    "loan_back": CAT_COHERENCE,
+    "push": CAT_COHERENCE,
+    "push_recv": CAT_COHERENCE,
+    # deferral machinery (paper 3.2/3.3)
+    "defer": CAT_DEFERRAL,
+    "queued": CAT_DEFERRAL,
+    "successor": CAT_DEFERRAL,
+    "timeout": CAT_DEFERRAL,
+    "queue_breakdown": CAT_DEFERRAL,
+    "squash": CAT_DEFERRAL,
+    # tear-off copies (paper 3.3)
+    "tearoff": CAT_TEAROFF,
+    "tearoff_recv": CAT_TEAROFF,
+    # lock hand-offs
+    "handoff": CAT_HANDOFF,
+    "evict_handoff": CAT_HANDOFF,
+    # lock semantics
+    "release": CAT_LOCK,
+    "enqolb": CAT_LOCK,
+    "deqolb": CAT_LOCK,
+    # prediction decisions (paper 3.4)
+    "predict": CAT_PREDICTOR,
+}
+
+
+def category_of(kind: str) -> str:
+    """The event category for a ``kind`` emitted anywhere in the system."""
+    if kind.startswith("bus:"):
+        return CAT_BUS
+    return _CATEGORY_OF.get(kind, CAT_COHERENCE)
+
+
+@dataclasses.dataclass
+class TelemetryEvent:
+    """One structured protocol event.
+
+    ``node`` is the emitting processor (the requester, for bus events);
+    ``info`` carries the kind-specific payload (requester, reason,
+    value, ...) exactly as the emitter supplied it.
+    """
+
+    time: int
+    node: int
+    kind: str
+    line_addr: int
+    info: Dict[str, Any]
+    category: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.category:
+            self.category = category_of(self.kind)
+
+    def render(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in sorted(self.info.items()))
+        return f"{self.time:>8}  P{self.node:<2} {self.kind:<16} {extra}"
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        """A flat, JSON-encodable form (the JSONL sink's record shape)."""
+        return {
+            "ts": self.time,
+            "node": self.node,
+            "kind": self.kind,
+            "cat": self.category,
+            "line": self.line_addr,
+            "info": {key: _jsonable(value) for key, value in self.info.items()},
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

@@ -1,0 +1,78 @@
+"""Machine-readable metrics export (``metrics.json``).
+
+Aggregates a batch of :class:`~repro.harness.experiment.RunResult`
+objects — each carrying counters, log-bucketed histogram summaries and
+a :class:`~repro.telemetry.manifest.RunManifest` — into one JSON
+document the CI pipeline archives and downstream tooling (plots,
+dashboards, regression checks) consumes.  Schema:
+``tests/schemas/metrics.schema.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, Mapping, Optional, Union
+
+#: bump when the payload shape changes incompatibly
+METRICS_SCHEMA = "repro-metrics/1"
+
+
+def _cell(key: Any, result: Any) -> Dict[str, Any]:
+    manifest = getattr(result, "manifest", None)
+    return {
+        "key": list(key) if isinstance(key, (list, tuple)) else [str(key)],
+        "workload": result.workload,
+        "primitive": result.primitive,
+        "n_processors": result.n_processors,
+        "cycles": result.cycles,
+        "bus_transactions": result.bus_transactions,
+        "wall_time_s": result.wall_time_s,
+        "counters": dict(result.stats),
+        "histograms": dict(getattr(result, "histograms", {}) or {}),
+        "manifest": manifest.to_dict() if manifest is not None else None,
+    }
+
+
+def metrics_payload(
+    results: Union[Mapping[Any, Any], Iterable[Any]],
+    runner_stats: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """The ``metrics.json`` document for a batch of runs.
+
+    ``results`` is either a grid (key -> RunResult, as returned by
+    ``run_cells``) or a plain iterable of RunResults.
+    """
+    import repro
+
+    if isinstance(results, Mapping):
+        items = list(results.items())
+    else:
+        items = [((r.workload, r.primitive), r) for r in results]
+    payload: Dict[str, Any] = {
+        "schema": METRICS_SCHEMA,
+        "version": repro.__version__,
+        "cells": [_cell(key, result) for key, result in items],
+    }
+    if runner_stats is not None:
+        payload["runner"] = {
+            "total": runner_stats.total,
+            "executed": runner_stats.executed,
+            "cache_hits": runner_stats.cache_hits,
+            "wall_time_s": runner_stats.wall_time_s,
+            "n_jobs": runner_stats.n_jobs,
+        }
+    return payload
+
+
+def write_metrics(
+    path: Union[str, os.PathLike],
+    results: Union[Mapping[Any, Any], Iterable[Any]],
+    runner_stats: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Write ``metrics.json`` to *path*; returns the payload."""
+    payload = metrics_payload(results, runner_stats)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload

@@ -1,0 +1,145 @@
+"""Minimal JSON-Schema validation for emitted telemetry artifacts.
+
+CI validates every JSONL trace, Chrome trace and ``metrics.json`` the
+pipeline emits against the checked-in schemas under ``tests/schemas/``.
+The container ships no third-party ``jsonschema`` package, so this is a
+small self-contained validator covering the subset those schemas use:
+
+``type`` (including type lists), ``properties``, ``required``,
+``items``, ``enum``, ``const``, ``minimum``, ``minItems``,
+``additionalProperties`` (boolean or schema), and ``$defs``/``$ref``
+(local ``#/$defs/...`` references only).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Dict, List, Union
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(ValueError):
+    """The instance does not conform to the schema."""
+
+
+def _check_type(instance: Any, expected: Union[str, List[str]], path: str) -> None:
+    names = [expected] if isinstance(expected, str) else list(expected)
+    for name in names:
+        python_type = _TYPES.get(name)
+        if python_type is None:
+            raise SchemaError(f"{path}: unsupported schema type {name!r}")
+        if isinstance(instance, bool) and name in ("integer", "number"):
+            continue  # bool is an int subclass; schema-wise it is not
+        if isinstance(instance, python_type):
+            return
+    raise SchemaError(
+        f"{path}: expected type {' | '.join(names)}, "
+        f"got {type(instance).__name__}"
+    )
+
+
+def _resolve_ref(ref: str, root: Dict[str, Any], path: str) -> Dict[str, Any]:
+    if not ref.startswith("#/"):
+        raise SchemaError(f"{path}: only local $ref supported, got {ref!r}")
+    node: Any = root
+    for part in ref[2:].split("/"):
+        if not isinstance(node, dict) or part not in node:
+            raise SchemaError(f"{path}: unresolvable $ref {ref!r}")
+        node = node[part]
+    return node
+
+
+def validate(
+    instance: Any,
+    schema: Dict[str, Any],
+    path: str = "$",
+    root: Any = None,
+) -> None:
+    """Raise :class:`SchemaError` if *instance* violates *schema*."""
+    if root is None:
+        root = schema
+    if "$ref" in schema:
+        validate(instance, _resolve_ref(schema["$ref"], root, path), path, root)
+        return
+    if "const" in schema and instance != schema["const"]:
+        raise SchemaError(
+            f"{path}: expected const {schema['const']!r}, got {instance!r}"
+        )
+    if "enum" in schema and instance not in schema["enum"]:
+        raise SchemaError(
+            f"{path}: {instance!r} not one of {schema['enum']!r}"
+        )
+    if "type" in schema:
+        _check_type(instance, schema["type"], path)
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if "minimum" in schema and instance < schema["minimum"]:
+            raise SchemaError(
+                f"{path}: {instance} < minimum {schema['minimum']}"
+            )
+    if isinstance(instance, dict):
+        for name in schema.get("required", []):
+            if name not in instance:
+                raise SchemaError(f"{path}: missing required property {name!r}")
+        properties = schema.get("properties", {})
+        for name, value in instance.items():
+            if name in properties:
+                validate(value, properties[name], f"{path}.{name}", root)
+            else:
+                additional = schema.get("additionalProperties", True)
+                if additional is False:
+                    raise SchemaError(f"{path}: unexpected property {name!r}")
+                if isinstance(additional, dict):
+                    validate(value, additional, f"{path}.{name}", root)
+    if isinstance(instance, list):
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            raise SchemaError(
+                f"{path}: {len(instance)} items < minItems {schema['minItems']}"
+            )
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for index, item in enumerate(instance):
+                validate(item, items, f"{path}[{index}]", root)
+
+
+def validate_file(
+    data_path: Union[str, os.PathLike],
+    schema_path: Union[str, os.PathLike],
+) -> int:
+    """Validate a ``.json`` or ``.jsonl`` file; returns records checked.
+
+    ``.jsonl`` files are validated line-by-line (the schema describes one
+    record); anything else is validated as a single document.
+    """
+    schema = json.loads(pathlib.Path(schema_path).read_text())
+    data_path = pathlib.Path(data_path)
+    if data_path.suffix == ".jsonl":
+        count = 0
+        with open(data_path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise SchemaError(
+                        f"{data_path}:{lineno}: not valid JSON: {exc}"
+                    ) from None
+                validate(record, schema, path=f"line {lineno}")
+                count += 1
+        if count == 0:
+            raise SchemaError(f"{data_path}: no records")
+        return count
+    validate(json.loads(data_path.read_text()), schema)
+    return 1

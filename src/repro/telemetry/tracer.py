@@ -1,0 +1,82 @@
+"""The tracing backbone: one dispatch point, pluggable sinks.
+
+The controller, bus, predictor and policies all emit through a single
+:class:`TraceDispatcher`, whose hook methods match the two existing
+instrumentation surfaces (``CacheController.tracer`` and
+``AddressBus.observer``).  Sinks attach and detach at will; events fan
+out to every attached sink in attach order.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.telemetry.events import TelemetryEvent
+from repro.telemetry.sinks import TraceSink
+
+
+class TraceDispatcher:
+    """Fans structured events out to attached sinks.
+
+    Components hold a reference to the dispatcher's bound hook methods,
+    not to the sinks, so the sink set can change mid-run (e.g. a test
+    swapping a ring buffer in) without re-wiring the system.
+    """
+
+    def __init__(self) -> None:
+        self._sinks: List[TraceSink] = []
+        self.events_dispatched = 0
+
+    # ------------------------------------------------------------------
+    # Sink management
+    # ------------------------------------------------------------------
+    def attach(self, sink: TraceSink) -> TraceSink:
+        self._sinks.append(sink)
+        return sink
+
+    def detach(self, sink: TraceSink) -> None:
+        self._sinks.remove(sink)
+
+    @property
+    def sinks(self) -> List[TraceSink]:
+        return list(self._sinks)
+
+    def close(self) -> None:
+        """Flush and close every attached sink."""
+        for sink in self._sinks:
+            sink.close()
+
+    # ------------------------------------------------------------------
+    # Emit surfaces
+    # ------------------------------------------------------------------
+    def dispatch(self, event: TelemetryEvent) -> None:
+        self.events_dispatched += 1
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def controller_hook(
+        self, kind: str, time: int, node: int, line_addr: int, info: dict
+    ) -> None:
+        """Signature-compatible with ``CacheController.tracer``."""
+        if not self._sinks:
+            return
+        self.dispatch(TelemetryEvent(time, node, kind, line_addr, dict(info)))
+
+    def bus_hook(self, time, txn, supplier, shared, deferred) -> None:
+        """Signature-compatible with ``AddressBus.observer``."""
+        if not self._sinks:
+            return
+        self.dispatch(
+            TelemetryEvent(
+                time,
+                txn.requester,
+                f"bus:{txn.op.value}",
+                txn.line_addr,
+                {
+                    "txn_id": txn.txn_id,
+                    "supplier": supplier,
+                    "shared": shared,
+                    "deferred": deferred,
+                },
+            )
+        )
