@@ -15,6 +15,10 @@ from repro.harness.tables import render_table
 from repro.workloads.micro import NullCriticalSection
 
 LATENCIES = [20, 40, 80, 160]
+#: per-link line serialization on the mesh (same 8x span as the bus
+#: sweep; a transfer crosses several links, so the end-to-end line
+#: latency sweeps a comparable range)
+DIR_LATENCIES = [8, 16, 32, 64]
 PRIMS = ["tts", "iqolb", "qolb"]
 
 
@@ -35,6 +39,24 @@ def measure(n_processors: int = 16):
             result = run_workload(workload, config, primitive=primitive)
             per_latency.append(result.cycles)
         out[primitive] = per_latency
+        # The same sweep on the directory fabric: the gap argument is
+        # protocol-generic, so it must reproduce without a broadcast
+        # medium (line serialization is the mesh's per-link analogue of
+        # the crossbar's transfer cost).
+        per_latency = []
+        for latency in DIR_LATENCIES:
+            config = SystemConfig(
+                n_processors=n_processors,
+                policy=policy,
+                interconnect="directory",
+                net_line_ser_cycles=latency,
+            )
+            workload = NullCriticalSection(
+                lock_kind=lock_kind, acquires_per_proc=15, think_cycles=60
+            )
+            result = run_workload(workload, config, primitive=primitive)
+            per_latency.append(result.cycles)
+        out[f"dir/{primitive}"] = per_latency
     return out
 
 
@@ -47,22 +69,31 @@ def test_network_gap(benchmark):
     publish(
         "network_gap",
         render_table(
-            ["primitive"] + [f"{c}cyc/line" for c in LATENCIES] + ["growth"],
+            ["fabric/primitive"]
+            + [f"L{i}" for i in range(len(LATENCIES))]
+            + ["growth"],
             rows,
-            title="Sensitivity to the data-network latency (contended lock, 16p)",
+            title=(
+                "Sensitivity to the data-network latency (contended lock, "
+                f"16p; bus columns sweep {LATENCIES} cyc/line, dir columns "
+                f"sweep {DIR_LATENCIES} cyc/link)"
+            ),
         ),
     )
 
-    tts, iqolb, qolb = results["tts"], results["iqolb"], results["qolb"]
-    # The queue-based schemes are network-optimal: one line transfer per
-    # hand-off, so their cost tracks the transfer latency (growth close
-    # to the 8x latency sweep, and IQOLB tracks QOLB throughout).
-    for iq, q in zip(iqolb, qolb):
-        assert iq / q < 1.2
-    # TTS pays several transfers (plus invalidation storms) per hand-off:
-    # it is multiples slower at *every* point of the sweep...
-    for t, iq in zip(tts, iqolb):
-        assert t / iq > 3
-    # ...and the absolute cost of its extra traffic widens as the
-    # processor/communication gap grows (the paper's motivation).
-    assert (tts[-1] - iqolb[-1]) > (tts[0] - iqolb[0])
+    for fabric in ("", "dir/"):
+        tts = results[f"{fabric}tts"]
+        iqolb = results[f"{fabric}iqolb"]
+        qolb = results[f"{fabric}qolb"]
+        # The queue-based schemes are network-optimal: one line transfer
+        # per hand-off, so their cost tracks the transfer latency (and
+        # IQOLB tracks QOLB throughout) — on either coherence fabric.
+        for iq, q in zip(iqolb, qolb):
+            assert iq / q < 1.2
+        # TTS pays several transfers (plus invalidation storms) per
+        # hand-off: it is multiples slower at *every* point of the sweep...
+        for t, iq in zip(tts, iqolb):
+            assert t / iq > 3
+        # ...and the absolute cost of its extra traffic widens as the
+        # processor/communication gap grows (the paper's motivation).
+        assert (tts[-1] - iqolb[-1]) > (tts[0] - iqolb[0])

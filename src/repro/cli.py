@@ -23,7 +23,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.registry import policy_names
+from repro.core.registry import interconnect_names, policy_names
 from repro.harness.cache import ResultCache
 from repro.harness.config import SystemConfig
 from repro.harness.diagram import render_sequence_diagram
@@ -108,7 +108,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.harness.report import render_report
 
-    result = run_app(args.app, args.primitive, args.processors)
+    result = run_app(
+        args.app,
+        args.primitive,
+        args.processors,
+        config_overrides={"interconnect": args.interconnect},
+    )
     print(render_report(result))
     if args.metrics_out:
         write_metrics(args.metrics_out, [result])
@@ -135,6 +140,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             args.scenario,
             args.primitive,
             args.processors,
+            config_overrides={"interconnect": args.interconnect},
             telemetry=dispatcher,
         )
         dispatcher.close()
@@ -157,7 +163,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.harness.report import histogram_rows
 
-    result = run_app(args.app, args.primitive, args.processors)
+    result = run_app(
+        args.app,
+        args.primitive,
+        args.processors,
+        config_overrides={"interconnect": args.interconnect},
+    )
     rows = histogram_rows(result)
     if rows:
         print(
@@ -202,7 +213,11 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 def _cmd_fairness(args: argparse.Namespace) -> int:
     reports = [
-        measure_lock_fairness(primitive, n_processors=args.processors)
+        measure_lock_fairness(
+            primitive,
+            n_processors=args.processors,
+            config_overrides={"interconnect": args.interconnect},
+        )
         for primitive in args.primitive
     ]
     print(
@@ -219,6 +234,7 @@ def _cmd_fairness(args: argparse.Namespace) -> int:
 def _cmd_policies(args: argparse.Namespace) -> int:
     print("protocol policies:", ", ".join(policy_names()))
     print("primitives:", ", ".join(sorted(PRIMITIVES)))
+    print("interconnects:", ", ".join(interconnect_names()))
     return 0
 
 
@@ -252,6 +268,9 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("app", choices=APP_ORDER)
     pr.add_argument("--primitive", default="iqolb", choices=sorted(PRIMITIVES))
     pr.add_argument("-p", "--processors", type=int, default=32)
+    pr.add_argument("--interconnect", default="bus",
+                    choices=interconnect_names(),
+                    help="coherence fabric (default: bus)")
     pr.add_argument("--metrics-out", metavar="PATH",
                     help="also write counters/histograms/manifest as JSON")
 
@@ -270,6 +289,9 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=sorted(PRIMITIVES),
                     help="primitive for benchmark scenarios")
     pt.add_argument("-p", "--processors", type=int, default=8)
+    pt.add_argument("--interconnect", default="bus",
+                    choices=interconnect_names(),
+                    help="coherence fabric for benchmark scenarios")
 
     ps = sub.add_parser(
         "stats", help="latency percentiles and run manifest for one run"
@@ -277,6 +299,9 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("app", choices=APP_ORDER)
     ps.add_argument("--primitive", default="iqolb", choices=sorted(PRIMITIVES))
     ps.add_argument("-p", "--processors", type=int, default=32)
+    ps.add_argument("--interconnect", default="bus",
+                    choices=interconnect_names(),
+                    help="coherence fabric (default: bus)")
     ps.add_argument("--metrics-out", metavar="PATH",
                     help="also write counters/histograms/manifest as JSON")
 
@@ -291,6 +316,9 @@ def build_parser() -> argparse.ArgumentParser:
     pq.add_argument("--primitive", nargs="+", default=["tts", "iqolb", "qolb"],
                     choices=sorted(PRIMITIVES))
     pq.add_argument("-p", "--processors", type=int, default=8)
+    pq.add_argument("--interconnect", default="bus",
+                    choices=interconnect_names(),
+                    help="coherence fabric (default: bus)")
 
     sub.add_parser("policies", help="list protocol policies and primitives")
     return parser

@@ -401,6 +401,29 @@ class CacheController(BusClient):
         self, op: Op, done: Callable[[Any], None], bus_op: BusOp
     ) -> None:
         line_addr = self.amap.line_addr(op.addr)
+        line = self.hierarchy.peek(line_addr)
+        if (
+            line is not None
+            and line.state is not State.TEAROFF
+            and (line.writable or bus_op is BusOp.GETS)
+        ):
+            # The line landed while the miss was being set up (a push or
+            # chain transfer racing the cache lookup).  Requesting it
+            # anyway would make the fabric serve a need that no longer
+            # exists — possibly from memory, over a dirtier copy.
+            self.cpu_request(op, done)
+            return
+        if bus_op is BusOp.UPGRADE and (
+            line is None or line.state is State.TEAROFF
+        ):
+            # The inverse race: our shared copy was invalidated between
+            # the upgrade decision and issue.  An UPGRADE without a copy
+            # can never be granted (and, once issued, never cancelled —
+            # there is no MSHR yet for the winner's snoop to squash), so
+            # re-dispatch: an SC fails on its lost link, a store falls
+            # back to a full GETX.
+            self.cpu_request(op, done)
+            return
         existing = self.mshrs.get(line_addr)
         if existing is not None:
             # A queued MSHR for this line is still waiting for ownership

@@ -1,6 +1,6 @@
-"""Policy registry: build protocol policies by name.
+"""Policy and interconnect registries: build both by name.
 
-Names follow the paper's Figure 1 taxonomy::
+Policy names follow the paper's Figure 1 taxonomy::
 
     baseline            Conventional LL/SC
     aggressive          Baseline + RFO on LL
@@ -11,11 +11,16 @@ Names follow the paper's Figure 1 taxonomy::
     iqolb+gen           Generalized implicit QOLB (forwards protected data)
     adaptive            Conservative hybrid: RFO on first LL after an SC
     qolb                Explicit QOLB (EnQOLB/DeQOLB instructions)
+
+Interconnects select the coherence fabric the ladder runs on::
+
+    bus        broadcast MOESI snooping bus + data crossbar (paper Table 1)
+    directory  home-node MOESI directory over a contention-modeled 2-D mesh
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Tuple
 
 from repro.core.baseline import (
     AdaptiveBaselinePolicy,
@@ -26,6 +31,12 @@ from repro.core.delayed import DelayedResponsePolicy
 from repro.core.iqolb import IqolbPolicy
 from repro.core.policy import ProtocolPolicy
 from repro.core.qolb import QolbPolicy
+
+if TYPE_CHECKING:  # pragma: no cover — type-only imports
+    from repro.engine.simulator import Simulator
+    from repro.engine.stats import StatsRegistry
+    from repro.harness.config import SystemConfig
+    from repro.mem.mainmemory import MainMemory
 
 _FACTORIES: Dict[str, Callable[..., ProtocolPolicy]] = {
     "baseline": BaselinePolicy,
@@ -54,3 +65,78 @@ def make_policy(name: str, **kwargs: Any) -> ProtocolPolicy:
         known = ", ".join(_FACTORIES)
         raise ValueError(f"unknown policy {name!r}; known: {known}")
     return factory(**kwargs)
+
+
+INTERCONNECTS: Tuple[str, ...] = ("bus", "directory")
+
+
+def interconnect_names() -> List[str]:
+    """All registered interconnect backends."""
+    return list(INTERCONNECTS)
+
+
+def make_interconnect(
+    cfg: "SystemConfig",
+    sim: "Simulator",
+    stats: "StatsRegistry",
+    memory: "MainMemory",
+    queue_retention: bool = False,
+) -> Tuple[Any, Any]:
+    """Build the configured coherence fabric.
+
+    Returns ``(address_fabric, data_fabric)`` — the address-side object
+    controllers ``request`` transactions on (AddressBus or
+    DirectoryInterconnect) and the data-side object they ``send`` lines
+    on (Crossbar or MeshNetwork).  Both pairs expose the same
+    controller-facing surface, so :class:`CacheController` is agnostic.
+
+    ``queue_retention`` mirrors the policy variant's protocol property
+    into the directory, which must know whether a supplied RFO dissolves
+    the waiter queue (paper §3.3's breakdown-vs-retention split).
+    """
+    if cfg.interconnect == "bus":
+        from repro.interconnect.bus import AddressBus
+        from repro.interconnect.crossbar import Crossbar
+
+        crossbar = Crossbar(
+            sim,
+            stats,
+            line_transfer_cycles=cfg.xbar_line_cycles,
+            word_transfer_cycles=cfg.xbar_word_cycles,
+        )
+        bus = AddressBus(
+            sim,
+            stats,
+            memory,
+            crossbar,
+            addr_latency=cfg.bus_addr_latency,
+            issue_interval=cfg.bus_issue_interval,
+            max_outstanding=cfg.bus_max_outstanding,
+        )
+        return bus, crossbar
+    if cfg.interconnect == "directory":
+        from repro.coherence.directory import DirectoryInterconnect
+        from repro.interconnect.network import MeshNetwork
+
+        network = MeshNetwork(
+            sim,
+            stats,
+            cfg.n_processors,
+            hop_cycles=cfg.net_hop_cycles,
+            line_ser_cycles=cfg.net_line_ser_cycles,
+            word_ser_cycles=cfg.net_word_ser_cycles,
+        )
+        directory = DirectoryInterconnect(
+            sim,
+            stats,
+            memory,
+            network,
+            n_nodes=cfg.n_processors,
+            lookup_cycles=cfg.dir_lookup_cycles,
+            queue_retention=queue_retention,
+        )
+        return directory, network
+    known = ", ".join(INTERCONNECTS)
+    raise ValueError(
+        f"unknown interconnect {cfg.interconnect!r}; known: {known}"
+    )

@@ -20,6 +20,8 @@ class SystemConfig:
 
     n_processors: int = 32
     policy: str = "baseline"
+    #: coherence fabric: broadcast snooping "bus" or home-node "directory"
+    interconnect: str = "bus"
 
     # Cache subsystem
     line_bytes: int = 64
@@ -41,6 +43,12 @@ class SystemConfig:
     mem_first_chunk_cycles: int = 40
     mem_next_chunk_cycles: int = 4
     mem_chunk_bytes: int = 8
+
+    # Directory backend: 2-D mesh link timing and home-node lookup cost
+    net_hop_cycles: int = 4
+    net_line_ser_cycles: int = 16
+    net_word_ser_cycles: int = 4
+    dir_lookup_cycles: int = 6
 
     # Processor
     issue_overhead: int = 1

@@ -15,15 +15,13 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.coherence.controller import CacheController
-from repro.core.registry import make_policy
+from repro.core.registry import make_interconnect, make_policy
 from repro.cpu.processor import Processor
 from repro.cpu.thread import Program, SimThread
 from repro.engine.simulator import Simulator
 from repro.engine.stats import StatsRegistry
 from repro.harness.config import SystemConfig
 from repro.harness.layout import MemoryLayout
-from repro.interconnect.bus import AddressBus
-from repro.interconnect.crossbar import Crossbar
 from repro.interconnect.messages import MEMORY_NODE
 from repro.mem.address import AddressMap
 from repro.mem.cache import CacheArray
@@ -50,24 +48,24 @@ class System:
             next_chunk_cycles=cfg.mem_next_chunk_cycles,
             chunk_bytes=cfg.mem_chunk_bytes,
         )
-        self.crossbar = Crossbar(
-            self.sim,
-            self.stats,
-            line_transfer_cycles=cfg.xbar_line_cycles,
-            word_transfer_cycles=cfg.xbar_word_cycles,
-        )
-        self.bus = AddressBus(
+        # The directory must know whether this protocol variant keeps
+        # the waiter queue alive across RFOs; probe one policy instance
+        # for the protocol-wide property before building the fabric.
+        probe = make_policy(cfg.policy, **cfg.policy_kwargs())
+        # ``self.bus`` is the address-side fabric (AddressBus or
+        # DirectoryInterconnect) and ``self.crossbar`` the data-side one
+        # (Crossbar or MeshNetwork) — the controller-facing surfaces are
+        # identical, so downstream code keeps the bus-era names.
+        self.bus, self.crossbar = make_interconnect(
+            cfg,
             self.sim,
             self.stats,
             self.memory,
-            self.crossbar,
-            addr_latency=cfg.bus_addr_latency,
-            issue_interval=cfg.bus_issue_interval,
-            max_outstanding=cfg.bus_max_outstanding,
+            queue_retention=getattr(probe, "queue_retention", False),
         )
-        # Memory "port" on the crossbar: deliveries to MEMORY_NODE would
-        # be writeback data; our writebacks ride the address bus instead,
-        # so this receiver should never fire.
+        # Memory "port" on the data fabric: deliveries to MEMORY_NODE
+        # would be writeback data; our writebacks ride the address side
+        # instead, so this receiver should never fire.
         self.crossbar.attach(MEMORY_NODE, self._memory_receiver)
 
         self.controllers: List[CacheController] = []
@@ -173,6 +171,10 @@ class System:
         for controller in self.controllers:
             controller.tracer = controller_hook
         self.bus.observer = bus_hook
+        if hasattr(self.bus, "tracer"):
+            # The directory emits its own protocol events (lookups,
+            # forwards, deferral at home) through the controller channel.
+            self.bus.tracer = controller_hook
         return dispatcher
 
     def _memory_receiver(self, msg: Any) -> None:  # pragma: no cover
@@ -182,7 +184,10 @@ class System:
     # Metrics helpers
     # ------------------------------------------------------------------
     def bus_transactions(self) -> int:
-        return self.stats.value("bus.transactions")
+        """Coherence transactions resolved, whichever fabric ran them."""
+        return self.stats.value("bus.transactions") + self.stats.value(
+            "dir.transactions"
+        )
 
     def total(self, suffix: str) -> int:
         """Aggregate a per-node counter, e.g. ``total('sc_fail')``."""

@@ -2,9 +2,10 @@
 
 Models the Gigaplane-XB-style data crossbar of the paper's target system
 (Table 1): 40 cycles of latency per cache-line transfer, with transfers
-from the same source port serialized (a crossbar has no shared medium, so
-contention appears at the ports).  Short messages — tear-off words and
-ownership-return tokens — cost less than full lines.
+from the same source port — and transfers *to* the same destination
+port — serialized (a crossbar has no shared medium, so contention
+appears at the ports, on both sides of the switch).  Short messages —
+tear-off words and ownership-return tokens — cost less than full lines.
 """
 
 from __future__ import annotations
@@ -30,7 +31,10 @@ class Crossbar:
         self.stats = stats
         self.line_transfer_cycles = line_transfer_cycles
         self.word_transfer_cycles = word_transfer_cycles
+        #: input (source-side) and output (destination-side) port
+        #: occupancy; a node's two port directions are distinct hardware.
         self._port_free: Dict[int, int] = {}
+        self._out_free: Dict[int, int] = {}
         self._receivers: Dict[int, Callable[[DataMessage], None]] = {}
 
     def attach(self, node_id: int, receiver: Callable[[DataMessage], None]) -> None:
@@ -40,9 +44,11 @@ class Crossbar:
     def send(self, msg: DataMessage) -> int:
         """Queue a message; returns its delivery time.
 
-        The source port is busy for the duration of the transfer, so
-        back-to-back sends from one node serialize; transfers between
-        disjoint port pairs proceed concurrently, as on a real crossbar.
+        Both ports are busy for the duration of the transfer: back-to-back
+        sends from one node serialize at the source port, and transfers
+        converging on one node serialize at its output port.  Only
+        transfers between disjoint port pairs proceed concurrently, as on
+        a real crossbar.
         """
         if msg.dst not in self._receivers:
             raise KeyError(f"no receiver attached for node {msg.dst}")
@@ -51,9 +57,14 @@ class Crossbar:
             if msg.kind in (DataKind.LINE, DataKind.PUSH)
             else self.word_transfer_cycles
         )
-        start = max(self.sim.now, self._port_free.get(msg.src, 0))
+        start = max(
+            self.sim.now,
+            self._port_free.get(msg.src, 0),
+            self._out_free.get(msg.dst, 0),
+        )
         delivery = start + cost
         self._port_free[msg.src] = delivery
+        self._out_free[msg.dst] = delivery
         self.stats.counter("xbar.messages").inc()
         self.stats.counter(f"xbar.{msg.kind.value}").inc()
         self.stats.histogram("xbar.queueing").add(start - self.sim.now)

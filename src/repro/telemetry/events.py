@@ -22,6 +22,7 @@ CAT_TEAROFF = "tearoff"
 CAT_HANDOFF = "handoff"
 CAT_LOCK = "lock"
 CAT_PREDICTOR = "predictor"
+CAT_DIRECTORY = "directory"
 
 CATEGORIES = (
     CAT_BUS,
@@ -32,6 +33,7 @@ CATEGORIES = (
     CAT_HANDOFF,
     CAT_LOCK,
     CAT_PREDICTOR,
+    CAT_DIRECTORY,
 )
 
 #: controller/policy event kind -> category
@@ -67,6 +69,12 @@ _CATEGORY_OF: Dict[str, str] = {
     "deqolb": CAT_LOCK,
     # prediction decisions (paper 3.4)
     "predict": CAT_PREDICTOR,
+    # home-node directory protocol (directory interconnect backend)
+    "dir_lookup": CAT_DIRECTORY,
+    "dir_forward": CAT_DIRECTORY,
+    "dir_inval": CAT_DIRECTORY,
+    "dir_defer": CAT_DIRECTORY,
+    "dir_breakdown": CAT_DIRECTORY,
 }
 
 
@@ -74,6 +82,8 @@ def category_of(kind: str) -> str:
     """The event category for a ``kind`` emitted anywhere in the system."""
     if kind.startswith("bus:"):
         return CAT_BUS
+    if kind.startswith("dir_"):
+        return CAT_DIRECTORY
     return _CATEGORY_OF.get(kind, CAT_COHERENCE)
 
 

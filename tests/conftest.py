@@ -60,3 +60,9 @@ def any_policy(request):
 def main_policy(request):
     """The four principal protocol variants."""
     return request.param
+
+
+@pytest.fixture(params=["bus", "directory"])
+def interconnect(request):
+    """Parametrize a test over both coherence fabrics."""
+    return request.param

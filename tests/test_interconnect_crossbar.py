@@ -65,6 +65,23 @@ class TestPortContention:
         times = [t for _, _, t in received]
         assert times == [40, 40]
 
+    def test_same_destination_serializes(self):
+        sim, xbar, received = make_crossbar()
+        xbar.send(line_msg(0, 3))
+        xbar.send(line_msg(1, 3))
+        sim.run()
+        times = sorted(t for _, _, t in received)
+        assert times == [40, 80]
+
+    def test_output_port_independent_of_input_port(self):
+        # Node 1 receiving does not block node 1 sending.
+        sim, xbar, received = make_crossbar()
+        xbar.send(line_msg(0, 1))
+        xbar.send(line_msg(1, 2))
+        sim.run()
+        times = [t for _, _, t in received]
+        assert times == [40, 40]
+
     def test_port_frees_after_idle(self):
         sim, xbar, received = make_crossbar()
         xbar.send(line_msg(0, 1))

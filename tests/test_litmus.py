@@ -1,11 +1,12 @@
 """Sequential-consistency litmus tests (paper Table 1: SC model).
 
 The simulated processor is in-order with blocking memory operations and
-the bus serializes coherence globally, so the classic litmus outcomes
-that SC forbids must never appear — under *any* protocol policy and any
-timing.  Each litmus runs across a grid of relative timings to probe
-different interleavings (the simulator is deterministic, so the sweep
-stands in for repetition).
+the coherence fabric — the snooping bus or the home-node directory —
+serializes writes to each line globally, so the classic litmus outcomes
+that SC forbids must never appear — under *any* protocol policy, either
+interconnect, and any timing.  Each litmus runs across a grid of
+relative timings to probe different interleavings (the simulator is
+deterministic, so the sweep stands in for repetition).
 """
 
 import pytest
@@ -26,8 +27,8 @@ class TestStoreBuffering:
     """
 
     @pytest.mark.parametrize("stagger", STAGGERS)
-    def test_sb_forbidden_outcome(self, policy, stagger):
-        system = build_system(2, policy)
+    def test_sb_forbidden_outcome(self, policy, stagger, interconnect):
+        system = build_system(2, policy, interconnect=interconnect)
         x = system.layout.alloc_line()
         y = system.layout.alloc_line()
         results = {}
@@ -51,8 +52,8 @@ class TestMessagePassing:
     data.  SC forbids seeing the flag without the data."""
 
     @pytest.mark.parametrize("stagger", STAGGERS)
-    def test_mp_data_visible_with_flag(self, policy, stagger):
-        system = build_system(2, policy)
+    def test_mp_data_visible_with_flag(self, policy, stagger, interconnect):
+        system = build_system(2, policy, interconnect=interconnect)
         data = system.layout.alloc_line()
         flag = system.layout.alloc_line()
         seen = {}
@@ -82,8 +83,8 @@ class TestLoadBuffering:
     store."""
 
     @pytest.mark.parametrize("stagger", STAGGERS[:4])
-    def test_lb_forbidden_outcome(self, policy, stagger):
-        system = build_system(2, policy)
+    def test_lb_forbidden_outcome(self, policy, stagger, interconnect):
+        system = build_system(2, policy, interconnect=interconnect)
         x = system.layout.alloc_line()
         y = system.layout.alloc_line()
         results = {}
@@ -107,8 +108,8 @@ class TestCoherenceOrder:
     values moving backwards against the write order."""
 
     @pytest.mark.parametrize("stagger", STAGGERS[:4])
-    def test_reads_never_go_backwards(self, policy, stagger):
-        system = build_system(2, policy)
+    def test_reads_never_go_backwards(self, policy, stagger, interconnect):
+        system = build_system(2, policy, interconnect=interconnect)
         x = system.layout.alloc_line()
         observations = []
 
@@ -134,8 +135,8 @@ class TestIriw:
     write order: (r1,r2,r3,r4) == (1,0,1,0)."""
 
     @pytest.mark.parametrize("stagger", [0, 11, 53])
-    def test_iriw_forbidden_outcome(self, policy, stagger):
-        system = build_system(4, policy)
+    def test_iriw_forbidden_outcome(self, policy, stagger, interconnect):
+        system = build_system(4, policy, interconnect=interconnect)
         x = system.layout.alloc_line()
         y = system.layout.alloc_line()
         out = {}

@@ -2,8 +2,8 @@
 
 Hypothesis generates random concurrent programs (stores, loads, atomic
 RMWs, random timing) over a small set of contended lines and checks,
-for every protocol policy, the invariants that must hold regardless of
-interleaving:
+for every protocol policy on both coherence fabrics (bus and
+directory), the invariants that must hold regardless of interleaving:
 
 * **atomicity** — LL/SC increments across all threads sum exactly;
 * **coherence** — after quiescence, every line has at most one owner,
@@ -33,7 +33,12 @@ POLICIES = [
 prop_settings = settings(
     max_examples=12,
     deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        # the interconnect fixture is a constant string per test id
+        HealthCheck.function_scoped_fixture,
+    ],
 )
 
 
@@ -73,7 +78,7 @@ class TestAtomicIncrements:
     @given(
         data=st.data(),
     )
-    def test_increment_sum_exact(self, policy, data):
+    def test_increment_sum_exact(self, policy, interconnect, data):
         n = data.draw(st.integers(min_value=2, max_value=4), label="threads")
         iters = data.draw(st.integers(min_value=1, max_value=8), label="iters")
         thinks = data.draw(
@@ -84,7 +89,7 @@ class TestAtomicIncrements:
             ),
             label="thinks",
         )
-        system = System(small_config(n, policy))
+        system = System(small_config(n, policy, interconnect=interconnect))
         counter = system.layout.alloc_line()
 
         def worker(think):
@@ -110,10 +115,10 @@ class TestAtomicIncrements:
 class TestRandomPrograms:
     @prop_settings
     @given(data=st.data())
-    def test_coherence_invariants_hold(self, policy, data):
+    def test_coherence_invariants_hold(self, policy, interconnect, data):
         n = data.draw(st.integers(min_value=2, max_value=3), label="threads")
         n_lines = 3
-        system = System(small_config(n, policy))
+        system = System(small_config(n, policy, interconnect=interconnect))
         lines = [system.layout.alloc_line() for _ in range(n_lines)]
         last_writer_value = {}
 
@@ -156,7 +161,7 @@ class TestRandomPrograms:
 
     @prop_settings
     @given(data=st.data())
-    def test_single_writer_final_value(self, policy, data):
+    def test_single_writer_final_value(self, policy, interconnect, data):
         """A word written by one thread only ends at its last write."""
         n = data.draw(st.integers(min_value=2, max_value=3), label="threads")
         writes = data.draw(
@@ -164,7 +169,7 @@ class TestRandomPrograms:
                      min_size=1, max_size=8),
             label="writes",
         )
-        system = System(small_config(n, policy))
+        system = System(small_config(n, policy, interconnect=interconnect))
         target = system.layout.alloc_line()
 
         def writer():

@@ -16,7 +16,12 @@ from repro.sync import TTSLock
 prop_settings = settings(
     max_examples=10,
     deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        # the interconnect fixture is a constant string per test id
+        HealthCheck.function_scoped_fixture,
+    ],
 )
 
 
@@ -27,13 +32,13 @@ class TestQueueOrdering:
             st.integers(min_value=0, max_value=400), min_size=3, max_size=5
         )
     )
-    def test_delayed_grants_follow_request_order(self, staggers):
+    def test_delayed_grants_follow_request_order(self, staggers, interconnect):
         """With well-separated arrivals, Fetch&Inc grants under the
-        delayed-response scheme follow LPRFO bus order."""
+        delayed-response scheme follow LPRFO request order."""
         n = len(staggers)
-        # Separate the arrivals enough that bus order == stagger order.
+        # Separate the arrivals enough that fabric order == stagger order.
         arrivals = [1 + s + i * 450 for i, s in enumerate(sorted(staggers))]
-        system = System(small_config(n, "delayed"))
+        system = System(small_config(n, "delayed", interconnect=interconnect))
         addr = system.layout.alloc_line()
         grants = []
 
@@ -60,11 +65,11 @@ class TestQueueOrdering:
         think=st.integers(min_value=0, max_value=150),
         iters=st.integers(min_value=2, max_value=6),
     )
-    def test_iqolb_lock_progress_random_timing(self, think, iters):
+    def test_iqolb_lock_progress_random_timing(self, think, iters, interconnect):
         """Random think times: every thread always finishes, mutual
         exclusion always holds."""
         n = 4
-        system = System(small_config(n, "iqolb"))
+        system = System(small_config(n, "iqolb", interconnect=interconnect))
         lock = TTSLock(system.layout.alloc_line())
         token = system.layout.alloc_line()
 
@@ -91,7 +96,9 @@ class TestQueueUnderCachePressure:
         policy=st.sampled_from(["delayed", "iqolb", "iqolb+retention", "qolb"]),
         filler_lines=st.integers(min_value=4, max_value=10),
     )
-    def test_tiny_caches_force_evictions_yet_progress(self, policy, filler_lines):
+    def test_tiny_caches_force_evictions_yet_progress(
+        self, policy, filler_lines, interconnect
+    ):
         """Eviction hand-offs (eviction == time-out, §3.3) keep the
         queue live even when lock lines get squeezed out."""
         n = 3
@@ -103,6 +110,7 @@ class TestQueueUnderCachePressure:
                 l1_assoc=1,
                 l2_size_bytes=4 * 64,
                 l2_assoc=1,
+                interconnect=interconnect,
             )
         )
         from repro.sync import QolbLock
