@@ -81,7 +81,9 @@ def test_directory_scaling(benchmark, smoke, jobs, result_cache):
     results, export = once(
         benchmark, measure, sizes, n_jobs=jobs, cache=result_cache
     )
-    publish_metrics("directory_scaling", export)
+    # The full grid is ~700KB of per-node counters at paper scale: too
+    # big to commit raw, so publish the compact digest + gzipped full.
+    publish_metrics("directory_scaling", export, archive=True)
     rows = [
         [name] + [f"{c:.0f}" for c in cycles]
         for name, cycles in results.items()

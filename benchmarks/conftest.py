@@ -25,7 +25,12 @@ import pathlib
 import pytest
 
 from repro.harness.cache import ResultCache
-from repro.telemetry import ChromeTraceSink, replay, write_metrics
+from repro.telemetry import (
+    ChromeTraceSink,
+    replay,
+    write_metrics,
+    write_metrics_archive,
+)
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
@@ -74,14 +79,23 @@ def publish(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
-def publish_metrics(name, results, runner_stats=None) -> pathlib.Path:
+def publish_metrics(name, results, runner_stats=None, archive=False) -> pathlib.Path:
     """Persist a machine-readable metrics document under results/.
 
     ``results`` is a grid (key -> RunResult) or an iterable of
     RunResults; the artefact conforms to
     ``tests/schemas/metrics.schema.json``.
+
+    With ``archive=True`` (for sweeps too large to commit raw) the
+    full document is written gzipped (``BENCH_<name>.json.gz``) next to
+    a committed compact digest (``BENCH_<name>.summary.json``,
+    ``tests/schemas/metrics_summary.schema.json``).
     """
     RESULTS_DIR.mkdir(exist_ok=True)
+    if archive:
+        base = RESULTS_DIR / f"BENCH_{name}.json"
+        write_metrics_archive(base, results, runner_stats)
+        return RESULTS_DIR / f"BENCH_{name}.summary.json"
     path = RESULTS_DIR / f"BENCH_{name}.json"
     write_metrics(path, results, runner_stats)
     return path

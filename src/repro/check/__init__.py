@@ -1,0 +1,49 @@
+"""Protocol checker: bounded model checking and coherence fault injection.
+
+The paper's claims are protocol *invariants* — a contended line is handed
+requestor-to-requestor exactly once per acquire/release pair, in request
+order, and timeouts guarantee liveness.  This package checks them
+mechanically instead of sampling them:
+
+* :mod:`repro.check.explore` drives small configurations (2-4
+  processors, 1-2 lines) through systematically permuted event orderings
+  by hooking the simulator's same-cycle tie-breaking — a DFS over
+  tie-break choices with a state-hash visited set and step/depth/run
+  budgets.
+* :mod:`repro.check.oracles` holds the pluggable invariant checks: SWMR,
+  data-value coherence, mutual exclusion, exactly-once hand-off, FIFO
+  hand-off order under queue retention, and progress under the paper's
+  timeout bound.
+* :mod:`repro.check.faults` perturbs the interconnect — bounded extra
+  message delay, address-phase jitter, dropped tear-off responses — to
+  exercise the directory's NACK/retry and timeout-recovery paths on
+  purpose.
+* :mod:`repro.check.report` captures any violation as a replayable
+  counterexample: the schedule seed plus (on demand) a Chrome trace via
+  the telemetry backbone.
+
+The ``repro check`` CLI subcommand fans the policy-ladder x fabric
+matrix out in parallel (see :mod:`repro.check.runner`).
+"""
+
+from repro.check.explore import Budget, ExploreReport, RunSpec, explore, run_once
+from repro.check.faults import FaultInjector, FaultPlan
+from repro.check.oracles import Violation
+from repro.check.report import Counterexample, replay
+from repro.check.runner import CheckJob, run_matrix, smoke_jobs
+
+__all__ = [
+    "Budget",
+    "CheckJob",
+    "Counterexample",
+    "ExploreReport",
+    "FaultInjector",
+    "FaultPlan",
+    "RunSpec",
+    "Violation",
+    "explore",
+    "replay",
+    "run_matrix",
+    "run_once",
+    "smoke_jobs",
+]

@@ -1,0 +1,385 @@
+"""Bounded model checking by permuting same-cycle tie-breaks.
+
+The kernel's event order is total: (time, priority, sequence).  Events
+tied on (time, priority) fire in scheduling order purely by accident of
+sequence numbering — any permutation of them is a legal hardware
+outcome.  The explorer owns exactly that freedom: it installs a
+``tie_breaker`` on the simulator and drives a depth-first search over
+the choice tree.
+
+The search is *stateless* (dBug/CHESS style): no simulator snapshots.
+A schedule is the list of choice indices taken at successive choice
+points; to explore a branch, the whole (deterministic, fast — these are
+2-4 processor configs) simulation re-executes with the schedule prefix
+forced and default-0 choices beyond it.  After each run the branching
+factors observed along the way enumerate the unexplored siblings, which
+are pushed LIFO for DFS order.
+
+A state fingerprint — tracked cache lines, MSHR/queue state, per-thread
+progress, and the relative shape of the pending event queue — prunes
+re-branching from states already expanded via a different interleaving.
+
+Every run is also *checked*: state-scan oracles fire after each event,
+event-stream oracles ride the synchronous telemetry dispatch, and
+end-of-run oracles classify how the run terminated.  A violation
+surfaces as a replayable :class:`~repro.check.report.Counterexample`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time as _time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.check.faults import FaultInjector, FaultPlan
+from repro.check.oracles import (
+    OUTCOME_BUDGET,
+    OUTCOME_FINISHED,
+    OUTCOME_RUNAWAY,
+    DataValueOracle,
+    HandoffOracle,
+    Oracle,
+    OracleSink,
+    ProgressOracle,
+    SwmrOracle,
+    Violation,
+)
+from repro.check.scenarios import build_scenario, install_mutation
+from repro.engine.simulator import SimulationError
+from repro.harness.experiment import PRIMITIVES
+from repro.telemetry.tracer import TraceDispatcher
+
+
+class BudgetExceeded(Exception):
+    """Raised in-sim when a run passes its step budget (not a failure)."""
+
+
+class ReplayDivergence(Exception):
+    """A forced schedule did not match the replayed tree — a checker bug.
+
+    The simulator is deterministic, so a schedule recorded from one run
+    must replay identically; divergence means the explorer itself is
+    broken and must not be reported as a protocol outcome.
+    """
+
+
+@dataclasses.dataclass
+class RunSpec:
+    """Picklable description of one checker cell."""
+
+    scenario: str = "lock"
+    primitive: str = "iqolb"
+    interconnect: str = "bus"
+    n_processors: int = 3
+    acquires_per_proc: int = 2
+    timeout_cycles: Optional[int] = 400
+    max_cycles: int = 2_000_000
+    mutation: Optional[str] = None
+    fault_plan: Optional[FaultPlan] = None
+
+    def label(self) -> str:
+        tag = f"{self.scenario}/{self.primitive}/{self.interconnect}"
+        if self.mutation:
+            tag += f"+{self.mutation}"
+        if self.fault_plan is not None:
+            tag += f"+faults(seed={self.fault_plan.seed})"
+        return tag
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        if self.fault_plan is not None:
+            data["fault_plan"] = self.fault_plan.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
+        data = dict(data)
+        if data.get("fault_plan") is not None:
+            data["fault_plan"] = FaultPlan.from_dict(data["fault_plan"])
+        return cls(**data)
+
+
+@dataclasses.dataclass
+class Budget:
+    """How much exploration one cell may spend."""
+
+    max_schedules: int = 200
+    max_steps: int = 60_000
+    max_depth: int = 40
+    stop_on_violation: bool = True
+
+
+@dataclasses.dataclass
+class RunOutcome:
+    """What one schedule's execution produced."""
+
+    status: str  # finished | runaway | budget | violation
+    violation: Optional[Dict[str, Any]] = None
+    observed: List[int] = dataclasses.field(default_factory=list)
+    branching: List[int] = dataclasses.field(default_factory=list)
+    fingerprints: List[str] = dataclasses.field(default_factory=list)
+    steps: int = 0
+    cycles: int = 0
+    handoffs: int = 0
+    detail: str = ""
+    fault_summary: Optional[Dict[str, int]] = None
+    stats: Optional[Dict[str, int]] = None
+
+
+@dataclasses.dataclass
+class ExploreReport:
+    """The result of exploring one cell's schedule tree."""
+
+    spec: RunSpec
+    schedules_run: int = 0
+    violations: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    statuses: Dict[str, int] = dataclasses.field(default_factory=dict)
+    choice_points: int = 0
+    pruned: int = 0
+    frontier_left: int = 0
+    max_depth_seen: int = 0
+    handoffs: int = 0
+    wall_time_s: float = 0.0
+    #: summed protocol/fault counters across runs (fault cells only):
+    #: dir.retries, dir.defer_nacks, timeouts, fault.delays, fault.drops...
+    fault_stats: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def interleavings(self) -> int:
+        """Distinct interleavings executed (one per schedule)."""
+        return self.schedules_run
+
+
+def _fingerprint(system, tracked_lines: Sequence[int]) -> str:
+    """Hash the protocol-relevant state at a choice point."""
+    parts: List[Any] = []
+    for controller in system.controllers:
+        for line_addr in tracked_lines:
+            line = controller.hierarchy.peek(line_addr)
+            parts.append(
+                (
+                    line.state.value,
+                    tuple(line.data),
+                )
+                if line is not None and line.valid
+                else None
+            )
+            mshr = controller.mshrs.get(line_addr)
+            parts.append(
+                (
+                    mshr.bus_op.value if mshr.bus_op is not None else "-",
+                    mshr.issued,
+                    mshr.queued,
+                    mshr.tearoff_done,
+                    mshr.has_waiter,
+                )
+                if mshr is not None
+                else None
+            )
+            parts.append(controller.successor.get(line_addr))
+            parts.append(line_addr in controller.obligations)
+            parts.append(controller.loan_return_to.get(line_addr))
+        parts.append((controller.link_valid, controller.link_addr))
+    for line_addr in tracked_lines:
+        parts.append(tuple(system.memory.read_line(line_addr)))
+    for processor in system.processors:
+        thread = processor.thread
+        parts.append(thread.ops_executed if thread is not None else -1)
+    parts.append(system.sim._queue.signature(system.sim.now))
+    digest = hashlib.blake2b(repr(parts).encode(), digest_size=12)
+    return digest.hexdigest()
+
+
+def run_once(
+    spec: RunSpec,
+    schedule: Sequence[int],
+    budget: Optional[Budget] = None,
+    extra_sinks: Optional[List[Any]] = None,
+    record_tree: bool = True,
+) -> RunOutcome:
+    """Execute one schedule through a fresh system and check it.
+
+    ``schedule`` forces the first ``len(schedule)`` tie-break choices;
+    beyond it the default (sequence-order) choice is taken while the
+    branching factors and state fingerprints are recorded for the DFS.
+    ``extra_sinks`` attach to the run's telemetry dispatcher (e.g. a
+    Chrome-trace sink during counterexample replay).
+    """
+    budget = budget if budget is not None else Budget()
+    built = build_scenario(
+        spec.scenario,
+        spec.primitive,
+        spec.interconnect,
+        spec.n_processors,
+        spec.acquires_per_proc,
+        spec.timeout_cycles,
+        spec.max_cycles,
+    )
+    system = built.system
+    install_mutation(spec.mutation, system)
+
+    policy, _ = PRIMITIVES[spec.primitive]
+    retention = policy.endswith("+retention") or policy == "qolb"
+    oracles: List[Oracle] = [
+        SwmrOracle(built.tracked_lines),
+        DataValueOracle(built.tracked_lines),
+        HandoffOracle(
+            system, [built.workload.lock_line(system)], fifo=retention
+        ),
+        ProgressOracle(policy),
+    ]
+    handoff_oracle = oracles[2]
+
+    dispatcher = TraceDispatcher()
+    dispatcher.attach(OracleSink(oracles))
+    for sink in extra_sinks or []:
+        dispatcher.attach(sink)
+    system.attach_telemetry(dispatcher)
+
+    injector: Optional[FaultInjector] = None
+    if spec.fault_plan is not None:
+        injector = FaultInjector(spec.fault_plan).install(system)
+        injector.tracer = dispatcher.controller_hook
+
+    outcome = RunOutcome(status=OUTCOME_FINISHED, observed=list(schedule))
+    sim = system.sim
+    tracked = built.tracked_lines
+
+    def tie_breaker(ties):
+        depth = len(outcome.branching)
+        if depth < len(schedule):
+            choice = schedule[depth]
+            if choice >= len(ties):
+                raise ReplayDivergence(
+                    f"schedule wanted choice {choice} of {len(ties)} ties "
+                    f"at depth {depth}"
+                )
+        elif depth < budget.max_depth:
+            choice = 0
+        else:
+            # Past the exploration horizon: follow defaults and record
+            # nothing (the DFS will not branch beyond max_depth).
+            return 0
+        if record_tree:
+            outcome.branching.append(len(ties))
+            outcome.fingerprints.append(_fingerprint(system, tracked))
+            if depth >= len(schedule):
+                outcome.observed.append(choice)
+        else:
+            outcome.branching.append(len(ties))
+        return choice
+
+    def on_step():
+        outcome.steps += 1
+        if outcome.steps > budget.max_steps:
+            raise BudgetExceeded()
+        for oracle in oracles:
+            oracle.on_step(system)
+
+    sim.tie_breaker = tie_breaker
+    sim.on_step = on_step
+
+    violation: Optional[Violation] = None
+    try:
+        system.run()
+    except Violation as exc:
+        violation = exc
+        outcome.status = "violation"
+    except BudgetExceeded:
+        outcome.status = OUTCOME_BUDGET
+    except (SimulationError, RuntimeError) as exc:
+        # Runaway guard, wedged-retry guard, or an unfinished-threads
+        # report: the run did not complete.  End-of-run oracles decide
+        # whether the policy was allowed to end this way.
+        outcome.status = OUTCOME_RUNAWAY
+        outcome.detail = str(exc).splitlines()[0]
+
+    if violation is None:
+        try:
+            for oracle in oracles:
+                oracle.at_end(system, outcome.status)
+            if outcome.status == OUTCOME_FINISHED:
+                built.workload.verify(system)
+        except Violation as exc:
+            violation = exc
+            outcome.status = "violation"
+        except AssertionError as exc:
+            violation = Violation("workload-verify", str(exc), time=sim.now)
+            outcome.status = "violation"
+
+    if violation is not None:
+        outcome.violation = {
+            "oracle": violation.oracle,
+            "message": violation.message,
+            "time": violation.time,
+        }
+
+    outcome.cycles = sim.now
+    outcome.handoffs = handoff_oracle.handoffs
+    if injector is not None:
+        outcome.fault_summary = injector.summary()
+        outcome.stats = {
+            "dir.retries": system.stats.value("dir.retries"),
+            "dir.defer_nacks": system.stats.value("dir.defer_nacks"),
+            "dir.deferred": system.stats.value("dir.deferred"),
+            "bus.retries": system.stats.value("bus.retries"),
+            "timeouts": system.total("timeouts"),
+            "net.faulted_drops": system.stats.value("net.faulted_drops"),
+            "xbar.faulted_drops": system.stats.value("xbar.faulted_drops"),
+        }
+    return outcome
+
+
+def explore(spec: RunSpec, budget: Optional[Budget] = None) -> ExploreReport:
+    """DFS over the tie-break choice tree of one cell."""
+    budget = budget if budget is not None else Budget()
+    report = ExploreReport(spec=spec)
+    started = _time.perf_counter()
+    stack: List[List[int]] = [[]]
+    visited: set = set()
+    while stack and report.schedules_run < budget.max_schedules:
+        prefix = stack.pop()
+        outcome = run_once(spec, prefix, budget)
+        report.schedules_run += 1
+        report.statuses[outcome.status] = (
+            report.statuses.get(outcome.status, 0) + 1
+        )
+        report.choice_points += len(outcome.branching)
+        report.handoffs += outcome.handoffs
+        report.max_depth_seen = max(report.max_depth_seen, len(outcome.branching))
+        if outcome.stats:
+            for key, value in outcome.stats.items():
+                report.fault_stats[key] = report.fault_stats.get(key, 0) + value
+        if outcome.fault_summary:
+            for key, value in outcome.fault_summary.items():
+                key = f"fault.{key}"
+                report.fault_stats[key] = report.fault_stats.get(key, 0) + value
+        if outcome.violation is not None:
+            report.violations.append(
+                {
+                    "schedule": outcome.observed[: len(outcome.branching)],
+                    "violation": outcome.violation,
+                    "steps": outcome.steps,
+                    "cycles": outcome.cycles,
+                }
+            )
+            if budget.stop_on_violation:
+                break
+        # Enumerate unexplored siblings of the new (non-forced) choice
+        # points, deepest first so the stack pops in DFS order.
+        horizon = min(len(outcome.branching), budget.max_depth)
+        for depth in range(horizon - 1, len(prefix) - 1, -1):
+            if outcome.branching[depth] < 2:
+                continue
+            if depth < len(outcome.fingerprints):
+                fp = outcome.fingerprints[depth]
+                if fp in visited:
+                    report.pruned += 1
+                    continue
+                visited.add(fp)
+            for alt in range(1, outcome.branching[depth]):
+                stack.append(list(outcome.observed[:depth]) + [alt])
+    report.frontier_left = len(stack)
+    report.wall_time_s = _time.perf_counter() - started
+    return report

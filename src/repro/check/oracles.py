@@ -1,0 +1,346 @@
+"""Invariant oracles: the machine-checkable form of the paper's claims.
+
+Each oracle watches one invariant through whichever surface observes it
+most directly:
+
+* state-scan oracles (:class:`SwmrOracle`, :class:`DataValueOracle`)
+  inspect the caches after every fired event via the kernel's ``on_step``
+  hook;
+* event-stream oracles (:class:`HandoffOracle`) consume the structured
+  telemetry stream through an :class:`OracleSink` attached to the run's
+  :class:`~repro.telemetry.tracer.TraceDispatcher` — dispatch is
+  synchronous, so a violation raises *inside* the simulation at the
+  exact step that broke the invariant;
+* :class:`CsMonitor` is called directly from the scenario's generator
+  programs at critical-section entry/exit;
+* :class:`ProgressOracle` classifies how the run *ended* (finished,
+  runaway, out of budget) against the policy's liveness promise.
+
+All report through :class:`Violation`, which the explorer converts into
+a replayable counterexample.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.mem.line import State
+from repro.telemetry.events import TelemetryEvent
+
+#: run outcomes handed to ``Oracle.at_end``
+OUTCOME_FINISHED = "finished"
+OUTCOME_RUNAWAY = "runaway"
+OUTCOME_BUDGET = "budget"
+
+#: telemetry kinds that mean "this node regained ownership of the line"
+_REGAIN_KINDS = frozenset({"fill", "push_recv", "loan_back"})
+
+#: policies whose hand-off latency is bounded (timeout or explicit
+#: queue), so a runaway run is a liveness violation rather than the
+#: genuine livelock the paper ascribes to the aggressive baseline.
+BOUNDED_POLICIES = frozenset(
+    {
+        "delayed",
+        "delayed+retention",
+        "iqolb",
+        "iqolb+retention",
+        "iqolb+gen",
+        "adaptive",
+        "qolb",
+    }
+)
+
+
+class Violation(Exception):
+    """An invariant broke.  Carries enough context to file a report."""
+
+    def __init__(self, oracle: str, message: str, time: Optional[int] = None):
+        super().__init__(f"[{oracle}] {message}")
+        self.oracle = oracle
+        self.message = message
+        self.time = time
+
+
+class Oracle:
+    """Interface every invariant check implements (all hooks optional)."""
+
+    name = "oracle"
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        """One structured telemetry event, synchronously, in-sim."""
+
+    def on_step(self, system) -> None:
+        """Called after every fired kernel event."""
+
+    def at_end(self, system, outcome: str) -> None:
+        """Called once when the run ends; ``outcome`` is OUTCOME_*."""
+
+
+class OracleSink:
+    """TraceSink adapter: fans telemetry events out to the oracles."""
+
+    def __init__(self, oracles: List[Oracle]) -> None:
+        self._oracles = [o for o in oracles if o is not None]
+
+    def emit(self, event: TelemetryEvent) -> None:
+        for oracle in self._oracles:
+            oracle.on_event(event)
+
+    def close(self) -> None:
+        pass
+
+
+class SwmrOracle(Oracle):
+    """Single-writer / multiple-reader over the tracked lines.
+
+    At every step: at most one cache may hold a line writable (E/M), and
+    while one does, no other cache may hold any coherent copy.  Tear-off
+    copies are exempt — they carry no permission by design (paper 3.3).
+    """
+
+    name = "swmr"
+
+    def __init__(self, tracked_lines: List[int]) -> None:
+        self.tracked = tracked_lines
+
+    def on_step(self, system) -> None:
+        for line_addr in self.tracked:
+            writers = []
+            holders = []
+            for controller in system.controllers:
+                line = controller.hierarchy.peek(line_addr)
+                if line is None or not line.valid:
+                    continue
+                if line.state is State.TEAROFF:
+                    continue
+                holders.append((controller.node_id, line.state))
+                if line.writable:
+                    writers.append(controller.node_id)
+            if len(writers) > 1:
+                raise Violation(
+                    self.name,
+                    f"line {line_addr:#x} writable at "
+                    f"{['P%d' % w for w in writers]}",
+                    time=system.sim.now,
+                )
+            if writers and len(holders) > 1:
+                raise Violation(
+                    self.name,
+                    f"line {line_addr:#x} writable at P{writers[0]} while "
+                    f"also held: {[(f'P{n}', s.value) for n, s in holders]}",
+                    time=system.sim.now,
+                )
+
+
+class DataValueOracle(Oracle):
+    """All coherent copies of a tracked line carry identical data.
+
+    MOESI keeps memory stale behind an O/M owner, so memory is not
+    consulted; the invariant is pairwise agreement between caches.
+    """
+
+    name = "data-value"
+
+    def __init__(self, tracked_lines: List[int]) -> None:
+        self.tracked = tracked_lines
+
+    def on_step(self, system) -> None:
+        for line_addr in self.tracked:
+            reference = None
+            ref_node = None
+            for controller in system.controllers:
+                line = controller.hierarchy.peek(line_addr)
+                if line is None or not line.valid:
+                    continue
+                if line.state is State.TEAROFF:
+                    continue
+                if reference is None:
+                    reference = list(line.data)
+                    ref_node = controller.node_id
+                elif list(line.data) != reference:
+                    raise Violation(
+                        self.name,
+                        f"line {line_addr:#x} diverged: "
+                        f"P{ref_node}={reference} vs "
+                        f"P{controller.node_id}={list(line.data)}",
+                        time=system.sim.now,
+                    )
+
+
+class CsMonitor:
+    """In-process critical-section occupancy monitor.
+
+    Scenario programs call :meth:`enter` right after their acquire
+    completes and :meth:`exit` right before their release begins, with no
+    simulated operation in between, so occupancy tracks the lock's
+    semantics exactly.  Overlap raises immediately, in-sim.
+    """
+
+    name = "mutual-exclusion"
+
+    def __init__(self) -> None:
+        self.inside: Set[int] = set()
+        self.entries = 0
+
+    def enter(self, tid: int) -> None:
+        if self.inside:
+            raise Violation(
+                self.name,
+                f"T{tid} entered the critical section while "
+                f"{sorted(self.inside)} inside",
+            )
+        self.inside.add(tid)
+        self.entries += 1
+
+    def exit(self, tid: int) -> None:
+        self.inside.discard(tid)
+
+
+class HandoffOracle(Oracle):
+    """Exactly-once hand-off per release, in queue order.
+
+    Sourced from the telemetry stream:
+
+    * ``defer`` (at the owner, with the requester) builds the per-line
+      queue in join order;
+    * ``handoff``/``evict_handoff`` is an ownership transfer by the
+      emitting node; a second transfer by the same node without an
+      intervening regain (``fill``/``push_recv``/``loan_back``) is a
+      duplicated hand-off — the "exactly once" upper bound;
+    * a ``release`` while the node holds a claimed successor arms an
+      expectation that a hand-off follows; releasing *again* with the
+      expectation still armed, or ending the run with it armed, is the
+      "exactly once" lower bound — the hand-off never happened;
+    * with queue retention, the transfer target must be the queue head —
+      FIFO hand-off order (paper 4.2's request-order guarantee).
+    """
+
+    name = "handoff"
+
+    def __init__(self, system, tracked_lines: List[int], fifo: bool = False):
+        self.system = system
+        self.tracked = set(tracked_lines)
+        self.fifo = fifo
+        #: per line: queued requesters in join order
+        self.queue: Dict[int, List[int]] = {}
+        #: (node, line) pairs that handed the line away and have not
+        #: regained it since — a second hand-off from here is a duplicate
+        self._handed: Set[Tuple[int, int]] = set()
+        #: (node, line) -> release time, armed until the hand-off happens
+        self.pending_release: Dict[Tuple[int, int], int] = {}
+        self.handoffs = 0
+
+    def _claim(self, node: int, line: int) -> Optional[int]:
+        """The node's *live* successor claim — controller state is the
+        authority, because queue breakdowns and squashes void claims
+        through paths the event stream only reflects indirectly."""
+        return self.system.controllers[node].successor.get(line)
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        if event.line_addr not in self.tracked:
+            return
+        line = event.line_addr
+        node = event.node
+        kind = event.kind
+        if kind == "defer":
+            requester = event.info.get("requester")
+            queue = self.queue.setdefault(line, [])
+            if requester in queue:
+                queue.remove(requester)
+            queue.append(requester)
+        elif kind == "squash":
+            for queue in self.queue.values():
+                if node in queue:
+                    queue.remove(node)
+        elif kind in ("queue_breakdown", "dir_breakdown"):
+            # The queue dissolved (members squash and re-arbitrate); any
+            # recorded order is void until it re-forms.
+            self.queue.pop(line, None)
+        elif kind in _REGAIN_KINDS:
+            self._handed.discard((node, line))
+            queue = self.queue.get(line)
+            if kind == "fill" and queue and node in queue:
+                queue.remove(node)
+        elif kind == "release":
+            claim = self._claim(node, line)
+            if claim is None:
+                return
+            if (node, line) in self.pending_release:
+                raise Violation(
+                    self.name,
+                    f"P{node} released line {line:#x} twice (t="
+                    f"{self.pending_release[(node, line)]} and t="
+                    f"{event.time}) without handing off to its queued "
+                    f"successor P{claim}",
+                    time=event.time,
+                )
+            self.pending_release[(node, line)] = event.time
+        elif kind in ("handoff", "evict_handoff"):
+            self.handoffs += 1
+            target = event.info.get("to")
+            if (node, line) in self._handed:
+                raise Violation(
+                    self.name,
+                    f"P{node} handed line {line:#x} to P{target} twice "
+                    f"without regaining ownership",
+                    time=event.time,
+                )
+            self._handed.add((node, line))
+            self.pending_release.pop((node, line), None)
+            if self.fifo:
+                queue = self.queue.get(line)
+                if queue and target in queue and queue[0] != target:
+                    raise Violation(
+                        self.name,
+                        f"FIFO order broken on line {line:#x}: handed to "
+                        f"P{target} while P{queue[0]} joined first "
+                        f"(queue {queue})",
+                        time=event.time,
+                    )
+
+    def at_end(self, system, outcome: str) -> None:
+        if outcome == OUTCOME_BUDGET:
+            return  # cut short; the hand-off may still have been coming
+        for (node, line), when in sorted(self.pending_release.items()):
+            successor = self._claim(node, line)
+            if successor is None:
+                continue
+            raise Violation(
+                self.name,
+                f"P{node} released line {line:#x} at t={when} but never "
+                f"handed it to its queued successor P{successor} "
+                f"(run {outcome} at t={system.sim.now})",
+                time=when,
+            )
+
+
+class ProgressOracle(Oracle):
+    """Liveness under the paper's timeout bound.
+
+    For policies with bounded hand-off (timeout-based delayed/IQOLB
+    variants and explicit QOLB), hitting the kernel's runaway guard means
+    some waiter starved: a liveness violation.  For the baseline and
+    aggressive policies livelock is a *documented phenomenon* (the
+    paper's Figure 2 motivation), so a runaway is recorded as
+    inconclusive rather than flagged.
+    """
+
+    name = "progress"
+
+    def __init__(self, policy: str) -> None:
+        self.policy = policy
+        self.bounded = policy in BOUNDED_POLICIES
+        self.inconclusive = False
+
+    def at_end(self, system, outcome: str) -> None:
+        if outcome != OUTCOME_RUNAWAY:
+            return
+        if not self.bounded:
+            self.inconclusive = True
+            return
+        raise Violation(
+            self.name,
+            f"policy {self.policy} promises bounded hand-off but the run "
+            f"exceeded max_cycles={system.sim.max_cycles}",
+            time=system.sim.now,
+        )

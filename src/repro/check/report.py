@@ -1,0 +1,132 @@
+"""Counterexample capture and replay.
+
+A counterexample is everything needed to re-execute the exact failing
+run: the cell description (scenario, primitive, fabric, sizes, fault
+seed, mutation) plus the tie-break schedule.  The simulator is
+deterministic, so that pair replays bit-identically — ``repro check
+--replay ce.json`` re-runs it, and ``--trace out.json`` attaches a
+Chrome-trace sink to the replay so the failing interleaving can be read
+in ``chrome://tracing``/Perfetto.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.check.explore import Budget, RunOutcome, RunSpec, run_once
+from repro.telemetry.sinks import ChromeTraceSink
+
+
+@dataclasses.dataclass
+class Counterexample:
+    """A replayable invariant violation."""
+
+    spec: RunSpec
+    schedule: List[int]
+    oracle: str
+    message: str
+    time: Optional[int]
+    steps: int = 0
+    cycles: int = 0
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        return {
+            "kind": "repro-check-counterexample",
+            "spec": self.spec.to_dict(),
+            "schedule": list(self.schedule),
+            "violation": {
+                "oracle": self.oracle,
+                "message": self.message,
+                "time": self.time,
+            },
+            "steps": self.steps,
+            "cycles": self.cycles,
+        }
+
+    @classmethod
+    def from_json_obj(cls, data: Dict[str, Any]) -> "Counterexample":
+        violation = data["violation"]
+        return cls(
+            spec=RunSpec.from_dict(data["spec"]),
+            schedule=list(data["schedule"]),
+            oracle=violation["oracle"],
+            message=violation["message"],
+            time=violation.get("time"),
+            steps=data.get("steps", 0),
+            cycles=data.get("cycles", 0),
+        )
+
+    def save(self, path: str) -> str:
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json_obj(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "Counterexample":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json_obj(json.load(fh))
+
+    def describe(self) -> str:
+        return (
+            f"{self.spec.label()}: [{self.oracle}] {self.message} "
+            f"(schedule depth {len(self.schedule)}, t={self.time})"
+        )
+
+
+def from_explore_violation(
+    spec: RunSpec, record: Dict[str, Any]
+) -> Counterexample:
+    """Build a counterexample from an ExploreReport violation record."""
+    violation = record["violation"]
+    return Counterexample(
+        spec=spec,
+        schedule=list(record["schedule"]),
+        oracle=violation["oracle"],
+        message=violation["message"],
+        time=violation.get("time"),
+        steps=record.get("steps", 0),
+        cycles=record.get("cycles", 0),
+    )
+
+
+def replay(
+    counterexample: Counterexample,
+    trace_out: Optional[str] = None,
+    budget: Optional[Budget] = None,
+) -> RunOutcome:
+    """Re-execute a counterexample; optionally dump a Chrome trace.
+
+    Returns the replayed :class:`RunOutcome` — its ``violation`` field
+    reproduces the original failure (the caller asserts that).
+    """
+    if budget is None:
+        # The replay must be allowed at least as many steps as the run
+        # that produced the counterexample (plus slack for the tail).
+        default = Budget()
+        budget = Budget(
+            max_steps=max(default.max_steps, counterexample.steps * 2),
+            max_depth=max(default.max_depth, len(counterexample.schedule)),
+        )
+    sinks: List[Any] = []
+    chrome: Optional[ChromeTraceSink] = None
+    if trace_out is not None:
+        chrome = ChromeTraceSink(trace_out)
+        sinks.append(chrome)
+    try:
+        outcome = run_once(
+            counterexample.spec,
+            counterexample.schedule,
+            budget=budget,
+            extra_sinks=sinks,
+        )
+    finally:
+        if chrome is not None:
+            chrome.close()
+    return outcome

@@ -1,0 +1,214 @@
+"""Checker scenarios: the smallest workloads that exercise everything.
+
+Model checking pays for state, so scenarios are deliberately tiny —
+2-4 processors, one or two contended lines, a handful of acquires — yet
+chosen so the DFS reaches every protocol path: deferral, tear-offs,
+queue formation, hand-off, timeout, NACK/retry on the directory.
+
+Each scenario builds a ready-to-run :class:`~repro.harness.system.System`
+and reports which line addresses the state-scan oracles should track.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.check.oracles import CsMonitor
+from repro.cpu.ops import Compute, Read, Write
+from repro.harness.config import SystemConfig
+from repro.harness.experiment import PRIMITIVES
+from repro.harness.system import System
+from repro.sync.fetchop import fetch_and_add
+from repro.workloads.base import LockSet, Workload
+
+#: the policy ladder the smoke matrix sweeps (5 primitives)
+LADDER = ("tts", "delayed", "iqolb", "iqolb+retention", "qolb")
+
+#: both coherence fabrics
+FABRICS = ("bus", "directory")
+
+
+class MonitoredCriticalSection(Workload):
+    """Contended lock with an in-process mutual-exclusion monitor.
+
+    Like :class:`~repro.workloads.micro.NullCriticalSection`, but every
+    critical section reports entry/exit to a :class:`CsMonitor` (overlap
+    raises in-sim) and bumps a token word in a separate line so lost
+    updates are also caught by the final verify.
+    """
+
+    name = "monitored-cs"
+
+    def __init__(
+        self,
+        lock_kind: str = "tts",
+        acquires_per_proc: int = 2,
+        think_cycles: int = 30,
+    ) -> None:
+        self.lock_kind = lock_kind
+        self.acquires_per_proc = acquires_per_proc
+        self.think_cycles = think_cycles
+        self.monitor = CsMonitor()
+        self.token_addr = 0
+        self.expected = 0
+
+    def build(self, system: System) -> None:
+        n = system.config.n_processors
+        self.lockset = LockSet(self.lock_kind, system, 1, n)
+        self.token_addr = system.layout.alloc_line()
+        self.expected = n * self.acquires_per_proc
+        for node in range(n):
+            system.load_program(node, self._program(node))
+
+    def tracked_lines(self, system: System) -> List[int]:
+        return [
+            system.amap.line_addr(self.lockset.lock_addr(0)),
+            system.amap.line_addr(self.token_addr),
+        ]
+
+    def lock_line(self, system: System) -> int:
+        return system.amap.line_addr(self.lockset.lock_addr(0))
+
+    def _program(self, tid: int):
+        for _ in range(self.acquires_per_proc):
+            yield from self.lockset.acquire(0, tid)
+            self.monitor.enter(tid)
+            value = yield Read(self.token_addr)
+            yield Write(self.token_addr, value + 1)
+            self.monitor.exit(tid)
+            yield from self.lockset.release(0, tid)
+            yield Compute(self.think_cycles)
+
+    def verify(self, system: System) -> None:
+        actual = system.read_word(self.token_addr)
+        if actual != self.expected:
+            raise AssertionError(
+                f"mutual exclusion violated: token={actual}, "
+                f"expected {self.expected}"
+            )
+
+
+class SmallCounter(Workload):
+    """Tiny contended fetch&add: the pure atomic-RMW state space."""
+
+    name = "small-counter"
+
+    def __init__(self, increments_per_proc: int = 2, think_cycles: int = 15):
+        self.increments_per_proc = increments_per_proc
+        self.think_cycles = think_cycles
+        self.monitor = None
+        self.counter_addr = 0
+        self.expected = 0
+
+    def build(self, system: System) -> None:
+        self.counter_addr = system.layout.alloc_line()
+        n = system.config.n_processors
+        self.expected = n * self.increments_per_proc
+        for node in range(n):
+            system.load_program(node, self._program())
+
+    def tracked_lines(self, system: System) -> List[int]:
+        return [system.amap.line_addr(self.counter_addr)]
+
+    def lock_line(self, system: System) -> int:
+        return system.amap.line_addr(self.counter_addr)
+
+    def _program(self):
+        for _ in range(self.increments_per_proc):
+            yield from fetch_and_add(self.counter_addr, 1, "counter.add")
+            yield Compute(self.think_cycles)
+
+    def verify(self, system: System) -> None:
+        actual = system.read_word(self.counter_addr)
+        if actual != self.expected:
+            raise AssertionError(
+                f"lost updates: counter={actual}, expected {self.expected}"
+            )
+
+
+@dataclasses.dataclass
+class BuiltScenario:
+    """Everything a checker run needs, freshly constructed."""
+
+    system: System
+    workload: Workload
+    tracked_lines: List[int]
+    monitor: Optional[CsMonitor]
+
+
+def make_config(
+    primitive: str,
+    interconnect: str,
+    n_processors: int,
+    timeout_cycles: Optional[int],
+    max_cycles: int,
+) -> SystemConfig:
+    policy, _lock_kind = PRIMITIVES[primitive]
+    return SystemConfig(
+        n_processors=n_processors,
+        policy=policy,
+        interconnect=interconnect,
+        timeout_cycles=timeout_cycles,
+        max_cycles=max_cycles,
+    )
+
+
+def build_scenario(
+    scenario: str,
+    primitive: str,
+    interconnect: str,
+    n_processors: int,
+    acquires_per_proc: int,
+    timeout_cycles: Optional[int],
+    max_cycles: int,
+) -> BuiltScenario:
+    """Construct system + workload for one checker cell (not yet run)."""
+    config = make_config(
+        primitive, interconnect, n_processors, timeout_cycles, max_cycles
+    )
+    _policy, lock_kind = PRIMITIVES[primitive]
+    if scenario == "lock":
+        workload: Workload = MonitoredCriticalSection(
+            lock_kind=lock_kind, acquires_per_proc=acquires_per_proc
+        )
+    elif scenario == "counter":
+        workload = SmallCounter(increments_per_proc=acquires_per_proc)
+    else:
+        raise ValueError(f"unknown scenario {scenario!r}; known: lock, counter")
+    system = System(config)
+    workload.build(system)
+    return BuiltScenario(
+        system=system,
+        workload=workload,
+        tracked_lines=workload.tracked_lines(system),
+        monitor=workload.monitor,
+    )
+
+
+def install_mutation(name: Optional[str], system: System) -> None:
+    """Deliberately break the protocol — the checker's own self-test.
+
+    ``skip_release_handoff`` makes every controller silently drop the
+    ownership hand-off a release should trigger, exactly the
+    "exactly-once per acquire/release pair" bug the checker exists to
+    catch.  Combined with an effectively infinite timeout (so the
+    timeout path cannot mask it), the seeded-mutation CI job asserts the
+    checker produces a counterexample.
+    """
+    if name is None:
+        return
+    if name == "skip_release_handoff":
+        for controller in system.controllers:
+            original = controller.discharge
+
+            def patched(line_addr, reason, _original=original):
+                if reason == "release":
+                    return None
+                return _original(line_addr, reason)
+
+            controller.discharge = patched
+    else:
+        raise ValueError(
+            f"unknown mutation {name!r}; known: skip_release_handoff"
+        )

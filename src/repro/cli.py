@@ -12,6 +12,8 @@ Gives the paper's experiments a front door::
     python -m repro validate run.trace.json --schema tests/schemas/...
     python -m repro fairness --primitive tts iqolb qolb
     python -m repro policies              # list protocol policies
+    python -m repro check --smoke -j 8    # bounded model check the ladder
+    python -m repro check --replay ce.json --trace ce.trace.json
 
 Tables and reports go to **stdout**; progress/cache diagnostics go to
 **stderr**, so stdout can be piped into files or ``jq`` cleanly.
@@ -231,6 +233,133 @@ def _cmd_fairness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+    import os
+    import re
+
+    from repro.check import (
+        Counterexample,
+        replay,
+        run_matrix,
+        smoke_jobs,
+    )
+    from repro.check.report import from_explore_violation
+
+    if args.replay:
+        counterexample = Counterexample.load(args.replay)
+        print(f"replaying: {counterexample.describe()}", file=sys.stderr)
+        outcome = replay(counterexample, trace_out=args.trace)
+        if args.trace:
+            print(f"trace written to {args.trace}", file=sys.stderr)
+        if outcome.violation is None:
+            print(f"NOT REPRODUCED: run ended {outcome.status} "
+                  f"with no violation")
+            return 1
+        print(f"reproduced: [{outcome.violation['oracle']}] "
+              f"{outcome.violation['message']}")
+        return 0
+
+    jobs = smoke_jobs(
+        scenario=args.scenario,
+        primitives=args.primitives,
+        interconnects=args.interconnects,
+        n_processors=args.processors,
+        acquires_per_proc=args.acquires,
+        max_schedules=args.max_schedules,
+        max_steps=args.max_steps,
+        max_depth=args.max_depth,
+        fault_seeds=args.fault_seeds if args.faults else None,
+        mutation=args.mutate,
+        timeout_cycles=args.timeout_cycles,
+        max_cycles=args.max_cycles,
+    )
+    print(f"exploring {len(jobs)} cell(s) with {args.jobs} worker(s)",
+          file=sys.stderr)
+    results = run_matrix(jobs, n_jobs=args.jobs)
+
+    rows = []
+    counterexamples: List[str] = []
+    fault_stats: dict = {}
+    for result in results:
+        rows.append([
+            result.label,
+            f"{result.interleavings:,}",
+            str(len(result.violations)),
+            f"{result.choice_points:,}",
+            f"{result.pruned:,}",
+            str(result.max_depth_seen),
+            f"{result.wall_time_s:.1f}s",
+        ])
+        for key, value in result.fault_stats.items():
+            fault_stats[key] = fault_stats.get(key, 0) + value
+        if result.violations and args.out:
+            os.makedirs(args.out, exist_ok=True)
+            slug = re.sub(r"[^A-Za-z0-9._-]+", "-", result.label)
+            for index, record in enumerate(result.violations):
+                counterexample = from_explore_violation(result.spec, record)
+                path = os.path.join(args.out, f"ce-{slug}-{index}.json")
+                counterexample.save(path)
+                counterexamples.append(path)
+    print(render_table(
+        ["cell", "interleavings", "viol", "choice pts", "pruned",
+         "depth", "wall"],
+        rows,
+        title="bounded model check",
+    ))
+    total = sum(r.interleavings for r in results)
+    violations = sum(len(r.violations) for r in results)
+    print(f"\ntotal: {total:,} interleavings, {violations} violation(s)")
+    if fault_stats:
+        exercised = {k: v for k, v in sorted(fault_stats.items()) if v}
+        print("fault-path counters:", json.dumps(exercised))
+    for record in results:
+        for violation in record.violations:
+            print(f"  {record.label}: {violation['violation']}")
+    for path in counterexamples:
+        print(f"  counterexample: {path}", file=sys.stderr)
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        report_path = os.path.join(args.out, "check-report.json")
+        with open(report_path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "kind": "repro-check-report",
+                    "total_interleavings": total,
+                    "total_violations": violations,
+                    "fault_stats": fault_stats,
+                    "counterexamples": counterexamples,
+                    "cells": [
+                        {
+                            "label": r.label,
+                            "spec": r.spec.to_dict(),
+                            "interleavings": r.interleavings,
+                            "violations": r.violations,
+                            "statuses": r.statuses,
+                            "choice_points": r.choice_points,
+                            "pruned": r.pruned,
+                            "frontier_left": r.frontier_left,
+                            "max_depth_seen": r.max_depth_seen,
+                            "handoffs": r.handoffs,
+                            "wall_time_s": r.wall_time_s,
+                            "fault_stats": r.fault_stats,
+                        }
+                        for r in results
+                    ],
+                },
+                fh, indent=2, sort_keys=True,
+            )
+            fh.write("\n")
+        print(f"report written to {report_path}", file=sys.stderr)
+    if args.expect_violation:
+        if violations == 0:
+            print("FAIL: expected the checker to find a violation "
+                  "(seeded mutation not caught)", file=sys.stderr)
+            return 1
+        return 0
+    return 1 if violations else 0
+
+
 def _cmd_policies(args: argparse.Namespace) -> int:
     print("protocol policies:", ", ".join(policy_names()))
     print("primitives:", ", ".join(sorted(PRIMITIVES)))
@@ -320,6 +449,57 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=interconnect_names(),
                     help="coherence fabric (default: bus)")
 
+    pc = sub.add_parser(
+        "check",
+        help="bounded model check: permute tie-breaks, check invariants",
+    )
+    pc.add_argument("--smoke", action="store_true",
+                    help="run the default policy-ladder x fabric matrix "
+                         "(the flag documents intent; defaults already "
+                         "describe the smoke matrix)")
+    pc.add_argument("--scenario", default="lock",
+                    choices=("lock", "counter"),
+                    help="workload shape to explore (default: lock)")
+    pc.add_argument("--primitives", nargs="+", metavar="PRIM",
+                    choices=sorted(PRIMITIVES),
+                    help="primitives to sweep (default: the 5-rung ladder)")
+    pc.add_argument("--interconnects", nargs="+", metavar="FABRIC",
+                    choices=interconnect_names(),
+                    help="fabrics to sweep (default: bus and directory)")
+    pc.add_argument("-p", "--processors", type=int, default=4)
+    pc.add_argument("--acquires", type=int, default=2,
+                    help="lock acquires per processor (default 2)")
+    pc.add_argument("--max-schedules", type=int, default=1200,
+                    help="schedules explored per cell (default 1200)")
+    pc.add_argument("--max-steps", type=int, default=80_000,
+                    help="kernel events per schedule before giving up")
+    pc.add_argument("--max-depth", type=int, default=60,
+                    help="tie-break choice points the DFS may branch at")
+    pc.add_argument("--timeout-cycles", type=int, default=400,
+                    help="lock hand-off timeout (default 400)")
+    pc.add_argument("--max-cycles", type=int, default=2_000_000,
+                    help="runaway guard per schedule (default 2,000,000)")
+    pc.add_argument("--faults", action="store_true",
+                    help="repeat each cell with the fault injector armed")
+    pc.add_argument("--fault-seeds", type=int, nargs="+", default=[1],
+                    metavar="SEED",
+                    help="fault-injector seeds (with --faults; default: 1)")
+    pc.add_argument("--mutate", metavar="NAME",
+                    help="install a seeded protocol mutation "
+                         "(skip_release_handoff) — checker self-test")
+    pc.add_argument("--expect-violation", action="store_true",
+                    help="exit 0 only if a violation IS found "
+                         "(for the seeded-mutation self-test)")
+    pc.add_argument("-j", "--jobs", type=int, default=1,
+                    help="worker processes, one cell each (default 1)")
+    pc.add_argument("--out", metavar="DIR",
+                    help="write check-report.json and counterexamples here")
+    pc.add_argument("--replay", metavar="CE.json",
+                    help="re-execute a saved counterexample instead of "
+                         "exploring")
+    pc.add_argument("--trace", metavar="PATH",
+                    help="with --replay: dump a Chrome trace of the replay")
+
     sub.add_parser("policies", help="list protocol policies and primitives")
     return parser
 
@@ -337,6 +517,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats": _cmd_stats,
         "validate": _cmd_validate,
         "fairness": _cmd_fairness,
+        "check": _cmd_check,
         "policies": _cmd_policies,
     }[args.command]
     return handler(args)

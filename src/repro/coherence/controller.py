@@ -30,7 +30,7 @@ invalidated.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.coherence.mshr import Mshr
 from repro.core.policy import ProtocolPolicy
@@ -134,6 +134,42 @@ class CacheController(BusClient):
 
     def obligation_count(self) -> int:
         return len(self.obligations)
+
+    def describe_state(self) -> str:
+        """One-line digest of protocol state, for runaway diagnostics.
+
+        Returns an empty string when the controller is quiescent so the
+        kernel's stuck-state report only lists nodes that matter.
+        """
+        parts: List[str] = []
+        for line_addr, mshr in sorted(self.mshrs.items()):
+            flags = []
+            if mshr.issued:
+                flags.append("issued")
+            if mshr.queued:
+                flags.append("queued")
+            if mshr.tearoff_done:
+                flags.append("tearoff")
+            if mshr.has_waiter:
+                flags.append(f"waiting:{mshr.cpu_op.kind}")
+            op = mshr.bus_op.name if mshr.bus_op is not None else "?"
+            detail = ",".join(flags) or "idle"
+            parts.append(
+                f"mshr {line_addr:#x} {op} {detail} since t={mshr.start_time}"
+            )
+        for line_addr, obligation in sorted(self.obligations.items()):
+            state = "suspended" if obligation.suspended else "armed"
+            parts.append(
+                f"obligation {line_addr:#x} {state} "
+                f"since t={obligation.created}"
+            )
+        for line_addr, successor in sorted(self.successor.items()):
+            parts.append(f"successor {line_addr:#x} -> P{successor}")
+        for line_addr, lender in sorted(self.loan_return_to.items()):
+            parts.append(f"loan {line_addr:#x} owed to P{lender}")
+        if not parts:
+            return ""
+        return f"P{self.node_id}: " + "; ".join(parts)
 
     def _reset_link_if(self, line_addr: int) -> None:
         """Reset the link flag if it covers this line."""

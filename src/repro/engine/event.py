@@ -11,6 +11,14 @@ import heapq
 from typing import Callable, List, Optional
 
 
+def _brief(value: object, width: int = 32) -> str:
+    """Clip an argument repr so queue digests stay one line per event."""
+    text = repr(value)
+    if len(text) > width:
+        text = text[: width - 3] + "..."
+    return text
+
+
 class Event:
     """A single scheduled callback.
 
@@ -91,6 +99,79 @@ class EventQueue:
         if self._heap:
             return self._heap[0].time
         return None
+
+    def candidates(self) -> List[Event]:
+        """Every live event tied for the head of the queue.
+
+        "Tied" means equal ``(time, priority)`` to the next event the
+        kernel would pop: exactly the set whose relative order is decided
+        only by scheduling sequence, i.e. the same-cycle tie-breaking a
+        model checker may legally permute.  Returned in sequence order
+        (the default firing order), deterministically.
+        """
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return []
+        head = self._heap[0]
+        ties = [
+            event
+            for event in self._heap
+            if not event.cancelled
+            and event.time == head.time
+            and event.priority == head.priority
+        ]
+        ties.sort(key=lambda event: event.seq)
+        return ties
+
+    def extract(self, event: Event) -> Event:
+        """Remove a specific live event so the caller can fire it.
+
+        Used by the tie-break hook to pop a chosen candidate out of
+        order.  The heap entry is lazily discarded via the cancellation
+        marker; the caller owns firing the callback.
+        """
+        if event.cancelled:
+            raise ValueError(f"cannot extract dead event {event!r}")
+        event.cancelled = True
+        self._live -= 1
+        return event
+
+    def signature(self, now: int) -> tuple:
+        """A hashable digest of the live queue, relative to ``now``.
+
+        Part of the model checker's state fingerprint: two simulations
+        whose pending work has the same shape (same callbacks at the same
+        relative offsets) are exploring the same future.
+        """
+        return tuple(
+            sorted(
+                (
+                    event.time - now,
+                    event.priority,
+                    getattr(event.callback, "__qualname__", ""),
+                    len(event.args),
+                )
+                for event in self._heap
+                if not event.cancelled
+            )
+        )
+
+    def summarize(self, limit: int = 8) -> str:
+        """A human-readable digest of the pending events (diagnostics)."""
+        live = sorted(
+            (event for event in self._heap if not event.cancelled),
+            key=lambda event: (event.time, event.priority, event.seq),
+        )
+        lines = [f"{self._live} pending event(s)"]
+        for event in live[:limit]:
+            callback = event.callback
+            name = getattr(callback, "__qualname__", repr(callback))
+            args = ", ".join(_brief(arg) for arg in event.args)
+            lines.append(f"  t={event.time} {name}({args})")
+        if len(live) > limit:
+            lines.append(f"  ... and {len(live) - limit} more")
+        return "\n".join(lines)
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously pushed event."""

@@ -9,7 +9,7 @@ paper's Table 1 which expresses all latencies in processor cycles.
 from __future__ import annotations
 
 import time as _time
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.engine.event import Event, EventQueue
 
@@ -24,6 +24,21 @@ class Simulator:
     The kernel is intentionally minimal: components interact only through
     scheduled callbacks, which keeps the global event order (and therefore
     the simulated coherence order) fully deterministic.
+
+    Two optional hooks open the kernel up to the protocol checker without
+    costing the common path anything:
+
+    * ``tie_breaker`` — called with the list of live events tied for the
+      head of the queue (same ``(time, priority)``) whenever that list has
+      more than one entry; returns the index of the event to fire.  Their
+      relative order is pure scheduling accident, so any choice is a legal
+      hardware outcome — permuting it is how ``repro.check`` enumerates
+      interleavings.
+    * ``on_step`` — called after every fired event, for invariant oracles.
+
+    ``diagnostic_providers`` is a list of zero-argument callables returning
+    strings; their output is appended to the runaway ``SimulationError``
+    so a max-cycles overrun reports *what* was stuck, not just when.
     """
 
     def __init__(self, max_cycles: int = 1_000_000_000) -> None:
@@ -34,6 +49,9 @@ class Simulator:
         self._running = False
         self._queue_high_water = 0
         self._host_seconds = 0.0
+        self.tie_breaker: Optional[Callable[[Sequence[Event]], int]] = None
+        self.on_step: Optional[Callable[[], None]] = None
+        self.diagnostic_providers: List[Callable[[], str]] = []
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -79,6 +97,35 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _next_event(self) -> Optional[Event]:
+        """Pop the next event, consulting the tie-break hook if set."""
+        if self.tie_breaker is None:
+            return self._queue.pop()
+        ties = self._queue.candidates()
+        if not ties:
+            return None
+        if len(ties) == 1:
+            return self._queue.pop()
+        choice = self.tie_breaker(ties)
+        return self._queue.extract(ties[choice])
+
+    def _runaway_error(self) -> SimulationError:
+        """Build the max-cycles overrun error, with stuck-state detail."""
+        parts = [
+            f"simulation exceeded max_cycles={self.max_cycles} "
+            f"(possible livelock) at t={self.now} "
+            f"after {self._events_fired} events",
+            self._queue.summarize(),
+        ]
+        for provider in self.diagnostic_providers:
+            try:
+                text = provider()
+            except Exception as exc:  # diagnostics must never mask the error
+                text = f"<diagnostic provider failed: {exc!r}>"
+            if text:
+                parts.append(text)
+        return SimulationError("\n".join(parts))
+
     def run(self, until: Optional[Callable[[], bool]] = None) -> int:
         """Drain the event queue; return the final simulated time.
 
@@ -92,17 +139,19 @@ class Simulator:
         started = _time.perf_counter()
         try:
             while self._queue:
-                event = self._queue.pop()
+                # Guard before popping so the offending event is still in
+                # the queue when the error summarizes it.
+                next_time = self._queue.peek_time()
+                if next_time is not None and next_time > self.max_cycles:
+                    raise self._runaway_error()
+                event = self._next_event()
                 if event is None:
                     break
-                if event.time > self.max_cycles:
-                    raise SimulationError(
-                        f"simulation exceeded max_cycles={self.max_cycles} "
-                        f"(possible livelock)"
-                    )
                 self.now = event.time
                 self._events_fired += 1
                 event.callback(*event.args)
+                if self.on_step is not None:
+                    self.on_step()
                 if until is not None and until():
                     break
         finally:
@@ -112,16 +161,17 @@ class Simulator:
 
     def step(self) -> bool:
         """Fire a single event; return False when the queue is empty."""
-        event = self._queue.pop()
+        next_time = self._queue.peek_time()
+        if next_time is not None and next_time > self.max_cycles:
+            raise self._runaway_error()
+        event = self._next_event()
         if event is None:
             return False
-        if event.time > self.max_cycles:
-            raise SimulationError(
-                f"simulation exceeded max_cycles={self.max_cycles}"
-            )
         self.now = event.time
         self._events_fired += 1
         event.callback(*event.args)
+        if self.on_step is not None:
+            self.on_step()
         return True
 
     @property

@@ -142,28 +142,43 @@ def execute_cell(spec: CellSpec) -> RunResult:
     )
 
 
-def _picklable(specs: Sequence[CellSpec]) -> bool:
+def _picklable(*objects: Any) -> bool:
     try:
-        pickle.dumps(list(specs))
+        pickle.dumps(objects)
     except Exception:
         return False
     return True
+
+
+def map_parallel(
+    fn: Callable[[Any], Any], items: Sequence[Any], n_jobs: int
+) -> List[Any]:
+    """``[fn(item) for item in items]`` across a worker-process pool.
+
+    The generic engine behind :func:`run_cells`, reused by any batch of
+    independent deterministic jobs (e.g. ``repro check``'s per-config
+    explorations).  Results come back in item order.  Falls back to an
+    in-process serial loop when parallelism cannot help (one job, one
+    item), when ``fn``/items are unpicklable, or when the platform cannot
+    start worker processes — the results are identical either way.
+    """
+    if n_jobs > 1 and len(items) > 1 and _picklable(fn, list(items)):
+        workers = min(n_jobs, len(items))
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers
+            ) as pool:
+                return list(pool.map(fn, items))
+        except (OSError, ValueError, concurrent.futures.BrokenExecutor):
+            pass  # no fork/spawn available — fall through to serial
+    return [fn(item) for item in items]
 
 
 def _execute_batch(
     specs: Sequence[CellSpec], n_jobs: int
 ) -> List[RunResult]:
     """Execute specs in order; parallel when possible, serial otherwise."""
-    if n_jobs > 1 and len(specs) > 1 and _picklable(specs):
-        workers = min(n_jobs, len(specs))
-        try:
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=workers
-            ) as pool:
-                return list(pool.map(execute_cell, specs))
-        except (OSError, ValueError, concurrent.futures.BrokenExecutor):
-            pass  # no fork/spawn available — fall through to serial
-    return [execute_cell(spec) for spec in specs]
+    return map_parallel(execute_cell, specs, n_jobs)
 
 
 def run_cells(

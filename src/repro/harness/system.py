@@ -102,6 +102,7 @@ class System:
         self._threads: Dict[int, SimThread] = {}
         self._remaining = 0
         self._next_thread_id = 0
+        self.sim.diagnostic_providers.append(self._describe_stuck_state)
 
     # ------------------------------------------------------------------
     # Program loading and memory initialisation
@@ -153,6 +154,14 @@ class System:
 
     def _thread_done(self, thread: SimThread) -> None:
         self._remaining -= 1
+
+    def _describe_stuck_state(self) -> str:
+        """Per-node controller/MSHR digest for the runaway diagnostic."""
+        lines = [c.describe_state() for c in self.controllers]
+        lines = [line for line in lines if line]
+        if not lines:
+            return "all cache controllers quiescent"
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # Telemetry

@@ -80,6 +80,10 @@ class AddressBus:
         self.observer: Optional[Callable[..., None]] = None
         #: per-bus transaction numbering, deterministic run to run
         self._next_txn_id = 0
+        #: optional fault injector (repro.check.faults) — may stretch the
+        #: address phase of individual transactions by a bounded jitter.
+        self.fault_hook = None
+        self._next_resolve_time = 0
 
     def attach(self, node_id: int, client: "BusClient") -> None:
         self._clients[node_id] = client
@@ -138,8 +142,16 @@ class AddressBus:
             # Block the line until the fill lands (or the response turns
             # out to be deferred, which unblocks at resolve time).
             self._line_blocked[txn.line_addr] = txn.txn_id
-        # Snoop resolution happens after the address access latency.
-        self.sim.schedule(self.addr_latency, self._resolve, txn)
+        # Snoop resolution happens after the address access latency.  A
+        # fault injector may stretch individual address phases, but the
+        # bus resolves strictly in issue order — that *is* the coherence
+        # order — so resolve times are clamped monotonically.
+        latency = self.addr_latency
+        if self.fault_hook is not None:
+            latency += self.fault_hook.bus_jitter(txn)
+        resolve_at = max(self.sim.now + latency, self._next_resolve_time)
+        self._next_resolve_time = resolve_at
+        self.sim.schedule_at(resolve_at, self._resolve, txn)
         if self._queue:
             self._pump()
 

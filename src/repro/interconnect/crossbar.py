@@ -36,6 +36,9 @@ class Crossbar:
         self._port_free: Dict[int, int] = {}
         self._out_free: Dict[int, int] = {}
         self._receivers: Dict[int, Callable[[DataMessage], None]] = {}
+        #: optional fault injector (repro.check.faults) — may delay a
+        #: message before it claims its ports, or drop it outright.
+        self.fault_hook = None
 
     def attach(self, node_id: int, receiver: Callable[[DataMessage], None]) -> None:
         """Register the delivery callback for a node (or memory)."""
@@ -52,13 +55,22 @@ class Crossbar:
         """
         if msg.dst not in self._receivers:
             raise KeyError(f"no receiver attached for node {msg.dst}")
+        # Fault injection happens *before* the ports are booked: a dropped
+        # message never occupies the fabric, and an entry delay pushes the
+        # whole transfer back without reordering either port's FIFO.
+        entry_delay = 0
+        if self.fault_hook is not None:
+            if self.fault_hook.drop(msg):
+                self.stats.counter("xbar.faulted_drops").inc()
+                return -1
+            entry_delay = self.fault_hook.data_delay(msg)
         cost = (
             self.line_transfer_cycles
             if msg.kind in (DataKind.LINE, DataKind.PUSH)
             else self.word_transfer_cycles
         )
         start = max(
-            self.sim.now,
+            self.sim.now + entry_delay,
             self._port_free.get(msg.src, 0),
             self._out_free.get(msg.dst, 0),
         )

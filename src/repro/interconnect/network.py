@@ -68,6 +68,11 @@ class MeshNetwork:
         #: called with (line_addr, node) when an ownership-carrying
         #: message is committed to a node (see ``send``)
         self.ownership_listener: Optional[Callable[[int, int], None]] = None
+        #: optional fault injector (repro.check.faults).  Entry delays are
+        #: applied *before* a message books any link, so per-link FIFO and
+        #: the occupancy books stay consistent; drops are vetoed per
+        #: message at ``send`` and never touch the fabric.
+        self.fault_hook = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -112,6 +117,10 @@ class MeshNetwork:
         ser = self.line_ser_cycles if line else self.word_ser_cycles
         path = self._route_nodes(src, dst)
         t = self.sim.now
+        if self.fault_hook is not None:
+            # Injection-point delay: the message sits at the source's
+            # network interface before entering the mesh proper.
+            t += self.fault_hook.route_delay(src, dst, vc)
         if len(path) == 1:
             # Local delivery (e.g. the home node answering itself): no
             # link crossed, but the switch traversal still costs a hop.
@@ -135,6 +144,12 @@ class MeshNetwork:
         """
         if msg.dst not in self._receivers:
             raise KeyError(f"no receiver attached for node {msg.dst}")
+        # Drop decision comes first: a dropped message must not commit
+        # ownership or book links.  The injector only drops messages the
+        # protocol can recover from (tear-offs re-fetched via the queue).
+        if self.fault_hook is not None and self.fault_hook.drop(msg):
+            self.stats.counter("net.faulted_drops").inc()
+            return -1
         src = origin if origin is not None else msg.src
         if src < 0:
             src = msg.dst  # memory with no stated origin: model as local

@@ -21,7 +21,12 @@ from repro.telemetry.events import (
     TelemetryEvent,
     category_of,
 )
-from repro.telemetry.export import metrics_payload, write_metrics
+from repro.telemetry.export import (
+    metrics_payload,
+    summary_payload,
+    write_metrics,
+    write_metrics_archive,
+)
 from repro.telemetry.manifest import (
     RunManifest,
     canonical,
@@ -54,5 +59,7 @@ __all__ = [
     "stable_hash",
     "validate",
     "validate_file",
+    "summary_payload",
     "write_metrics",
+    "write_metrics_archive",
 ]

@@ -23,6 +23,7 @@ CAT_HANDOFF = "handoff"
 CAT_LOCK = "lock"
 CAT_PREDICTOR = "predictor"
 CAT_DIRECTORY = "directory"
+CAT_FAULT = "fault"
 
 CATEGORIES = (
     CAT_BUS,
@@ -34,6 +35,7 @@ CATEGORIES = (
     CAT_LOCK,
     CAT_PREDICTOR,
     CAT_DIRECTORY,
+    CAT_FAULT,
 )
 
 #: controller/policy event kind -> category
@@ -75,6 +77,9 @@ _CATEGORY_OF: Dict[str, str] = {
     "dir_inval": CAT_DIRECTORY,
     "dir_defer": CAT_DIRECTORY,
     "dir_breakdown": CAT_DIRECTORY,
+    # checker fault injection (repro.check.faults)
+    "fault_delay": CAT_FAULT,
+    "fault_drop": CAT_FAULT,
 }
 
 

@@ -17,6 +17,9 @@ from typing import Any, Dict, Iterable, Mapping, Optional, Union
 #: bump when the payload shape changes incompatibly
 METRICS_SCHEMA = "repro-metrics/1"
 
+#: the compact per-cell digest kept in version control for large benches
+SUMMARY_SCHEMA = "repro-metrics-summary/1"
+
 
 def _cell(key: Any, result: Any) -> Dict[str, Any]:
     manifest = getattr(result, "manifest", None)
@@ -65,6 +68,41 @@ def metrics_payload(
     return payload
 
 
+def summary_payload(full: Dict[str, Any]) -> Dict[str, Any]:
+    """The compact digest of a full metrics payload.
+
+    Keeps the headline numbers (cycles, bus transactions, wall time,
+    provenance hash) per cell and drops the per-node counter and
+    histogram bodies — the review-able diff for version control, while
+    the full document travels as a gzipped sidecar.
+    """
+    cells = []
+    for cell in full["cells"]:
+        manifest = cell.get("manifest") or {}
+        cells.append(
+            {
+                "key": cell["key"],
+                "workload": cell["workload"],
+                "primitive": cell["primitive"],
+                "n_processors": cell["n_processors"],
+                "cycles": cell["cycles"],
+                "bus_transactions": cell["bus_transactions"],
+                "wall_time_s": cell["wall_time_s"],
+                "n_counters": len(cell.get("counters") or {}),
+                "n_histograms": len(cell.get("histograms") or {}),
+                "config_hash": manifest.get("config_hash"),
+            }
+        )
+    summary: Dict[str, Any] = {
+        "schema": SUMMARY_SCHEMA,
+        "version": full["version"],
+        "cells": cells,
+    }
+    if "runner" in full:
+        summary["runner"] = full["runner"]
+    return summary
+
+
 def write_metrics(
     path: Union[str, os.PathLike],
     results: Union[Mapping[Any, Any], Iterable[Any]],
@@ -74,5 +112,36 @@ def write_metrics(
     payload = metrics_payload(results, runner_stats)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def write_metrics_archive(
+    base_path: Union[str, os.PathLike],
+    results: Union[Mapping[Any, Any], Iterable[Any]],
+    runner_stats: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Write ``<base>.summary.json`` + gzipped ``<base>.json.gz``.
+
+    The two-file form for artifacts too large to commit raw: the compact
+    summary is the committed, diffable record; the gzip carries every
+    counter and histogram for CI upload and offline analysis
+    (``repro validate`` reads ``.gz`` directly).  Returns the *full*
+    payload.
+    """
+    import gzip
+
+    base = os.fspath(base_path)
+    if base.endswith(".json"):
+        base = base[: -len(".json")]
+    payload = metrics_payload(results, runner_stats)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    # mtime=0 keeps the archive byte-identical across regenerations of
+    # identical content, so reruns do not dirty the working tree.
+    with open(f"{base}.json.gz", "wb") as raw:
+        with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as handle:
+            handle.write(text.encode("utf-8"))
+    with open(f"{base}.summary.json", "w", encoding="utf-8") as handle:
+        json.dump(summary_payload(payload), handle, indent=2, sort_keys=True)
         handle.write("\n")
     return payload

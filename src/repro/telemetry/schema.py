@@ -116,30 +116,39 @@ def validate_file(
     data_path: Union[str, os.PathLike],
     schema_path: Union[str, os.PathLike],
 ) -> int:
-    """Validate a ``.json`` or ``.jsonl`` file; returns records checked.
+    """Validate a ``.json``/``.jsonl`` file; returns records checked.
 
     ``.jsonl`` files are validated line-by-line (the schema describes one
-    record); anything else is validated as a single document.
+    record); anything else is validated as a single document.  A ``.gz``
+    suffix is decompressed transparently, so archived artifacts
+    (``BENCH_*.json.gz``) validate without an unpack step.
     """
     schema = json.loads(pathlib.Path(schema_path).read_text())
     data_path = pathlib.Path(data_path)
-    if data_path.suffix == ".jsonl":
+    effective = data_path
+    if data_path.suffix == ".gz":
+        import gzip
+
+        text = gzip.decompress(data_path.read_bytes()).decode("utf-8")
+        effective = data_path.with_suffix("")  # strip .gz for type sniffing
+    else:
+        text = data_path.read_text()
+    if effective.suffix == ".jsonl":
         count = 0
-        with open(data_path, encoding="utf-8") as handle:
-            for lineno, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise SchemaError(
-                        f"{data_path}:{lineno}: not valid JSON: {exc}"
-                    ) from None
-                validate(record, schema, path=f"line {lineno}")
-                count += 1
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(
+                    f"{data_path}:{lineno}: not valid JSON: {exc}"
+                ) from None
+            validate(record, schema, path=f"line {lineno}")
+            count += 1
         if count == 0:
             raise SchemaError(f"{data_path}: no records")
         return count
-    validate(json.loads(data_path.read_text()), schema)
+    validate(json.loads(text), schema)
     return 1

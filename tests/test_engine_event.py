@@ -1,5 +1,6 @@
 """Unit tests for the event queue."""
 
+import pytest
 from hypothesis import given, strategies as st
 
 from repro.engine.event import Event, EventQueue
@@ -105,3 +106,75 @@ class TestEvent:
         assert not event.cancelled
         event.cancel()
         assert event.cancelled
+
+
+class TestCandidatesAndExtract:
+    def test_candidates_are_the_tied_head_set(self):
+        queue = EventQueue()
+        a = queue.push(3, lambda: None)
+        b = queue.push(3, lambda: None)
+        queue.push(3, lambda: None, priority=1)  # lower priority: not tied
+        queue.push(9, lambda: None)
+        ties = queue.candidates()
+        assert ties == [a, b]
+
+    def test_candidates_skip_cancelled(self):
+        queue = EventQueue()
+        a = queue.push(2, lambda: None)
+        b = queue.push(2, lambda: None)
+        queue.cancel(a)
+        assert queue.candidates() == [b]
+
+    def test_candidates_empty_queue(self):
+        assert EventQueue().candidates() == []
+
+    def test_extract_removes_chosen_event(self):
+        queue = EventQueue()
+        a = queue.push(1, lambda: None)
+        b = queue.push(1, lambda: None)
+        chosen = queue.extract(b)
+        assert chosen is b
+        assert len(queue) == 1
+        assert queue.pop() is a
+
+    def test_extract_dead_event_rejected(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        queue.cancel(event)
+        with pytest.raises(ValueError):
+            queue.extract(event)
+
+
+class TestSignatureAndSummary:
+    def test_signature_is_relative_to_now(self):
+        def shape(base):
+            queue = EventQueue()
+            queue.push(base + 2, sorted)
+            queue.push(base + 5, sorted, args=(1,))
+            return queue.signature(now=base)
+
+        assert shape(0) == shape(1000)
+
+    def test_signature_ignores_cancelled(self):
+        queue = EventQueue()
+        queue.push(1, sorted)
+        dead = queue.push(2, sorted)
+        queue.cancel(dead)
+        other = EventQueue()
+        other.push(1, sorted)
+        assert queue.signature(0) == other.signature(0)
+
+    def test_summarize_names_callbacks(self):
+        queue = EventQueue()
+        queue.push(4, sorted, args=("abcdef",))
+        text = queue.summarize()
+        assert "1 pending event(s)" in text
+        assert "t=4" in text
+        assert "sorted" in text
+
+    def test_summarize_clips_long_listings(self):
+        queue = EventQueue()
+        for t in range(12):
+            queue.push(t, sorted)
+        text = queue.summarize(limit=8)
+        assert "... and 4 more" in text

@@ -110,3 +110,79 @@ class TestRun:
             return trace
 
         assert build_and_run() == build_and_run()
+
+
+class TestTieBreaker:
+    def test_tie_breaker_permutes_same_cycle_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in ("a", "b", "c"):
+            sim.schedule(5, fired.append, tag)
+        sim.tie_breaker = lambda ties: len(ties) - 1  # always last
+        sim.run()
+        assert sorted(fired) == ["a", "b", "c"]
+        assert fired == ["c", "b", "a"]
+
+    def test_tie_breaker_not_consulted_without_ties(self):
+        sim = Simulator()
+        calls = []
+        sim.tie_breaker = lambda ties: calls.append(len(ties)) or 0
+        sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        sim.run()
+        assert calls == []  # singletons pop normally
+
+    def test_default_choice_matches_no_hook(self):
+        def run(hook):
+            sim = Simulator()
+            fired = []
+            for t, tag in ((3, "x"), (3, "y"), (7, "z")):
+                sim.schedule(t, fired.append, tag)
+            if hook:
+                sim.tie_breaker = lambda ties: 0
+            sim.run()
+            return fired
+
+        assert run(hook=False) == run(hook=True)
+
+    def test_on_step_fires_per_event(self):
+        sim = Simulator()
+        steps = []
+        sim.on_step = lambda: steps.append(sim.now)
+        for t in (1, 4, 9):
+            sim.schedule(t, lambda: None)
+        sim.run()
+        assert steps == [1, 4, 9]
+
+
+class TestRunawayDiagnostics:
+    def _runaway(self, sim):
+        def reschedule():
+            sim.schedule(10, reschedule)
+
+        sim.schedule(10, reschedule)
+        with pytest.raises(SimulationError) as excinfo:
+            sim.run()
+        return str(excinfo.value)
+
+    def test_error_includes_queue_summary(self):
+        message = self._runaway(Simulator(max_cycles=100))
+        assert "pending event(s)" in message
+        assert "reschedule" in message  # the stuck callback, by name
+
+    def test_diagnostic_providers_appended(self):
+        sim = Simulator(max_cycles=100)
+        sim.diagnostic_providers.append(lambda: "P0: wedged on 0x40")
+        message = self._runaway(sim)
+        assert "P0: wedged on 0x40" in message
+
+    def test_failing_provider_does_not_mask_error(self):
+        sim = Simulator(max_cycles=100)
+
+        def broken():
+            raise RuntimeError("boom")
+
+        sim.diagnostic_providers.append(broken)
+        message = self._runaway(sim)
+        assert "max_cycles=100" in message
+        assert "diagnostic provider failed" in message

@@ -1,0 +1,161 @@
+"""MSHR life-cycle tests: allocation, waiter merge, release, races.
+
+The allocation and release paths run constantly under every workload;
+the interesting cases are the queued-LPRFO merge (a second CPU op
+attaching to an open MSHR) and the miss-decision/issue window races the
+directory backend made reachable — a line landing, or an upgrade's
+shared copy dying, between the miss decision and ``_start_miss``.
+"""
+
+import pytest
+
+from conftest import build_system, run_programs
+from repro.coherence.mshr import Mshr
+from repro.cpu.ops import Read, Write
+from repro.interconnect.messages import BusOp
+from repro.mem.line import State
+
+
+class TestMshrUnit:
+    def test_fresh_mshr_flags(self):
+        op = Write(0x100, 1)
+        mshr = Mshr(0x100, op, lambda v: None, start_time=7)
+        assert mshr.line_addr == 0x100
+        assert mshr.cpu_op is op
+        assert mshr.has_waiter
+        assert not mshr.issued
+        assert not mshr.queued
+        assert not mshr.tearoff_done
+        assert mshr.start_time == 7
+
+    def test_take_waiter_detaches_callback_and_op(self):
+        hits = []
+        op = Read(0x40)
+        mshr = Mshr(0x40, op, hits.append, start_time=0)
+        cb = mshr.take_waiter()
+        cb("filled")
+        assert hits == ["filled"]
+        assert not mshr.has_waiter
+        assert mshr.cpu_op is None
+        assert mshr.pending_op is op  # remembered for fill completion
+        # A second take finds nothing to detach.
+        assert mshr.take_waiter() is None
+
+
+class TestAllocationAndRelease:
+    def test_miss_allocates_and_fill_releases(self):
+        """Every MSHR opened during a run is retired by its fill."""
+        system = build_system(2, "baseline")
+        a = system.layout.alloc_line()
+        b = system.layout.alloc_line()
+
+        def writer(addr, value):
+            def program():
+                yield Write(addr, value)
+                yield Read(addr)
+            return program()
+
+        run_programs(system, [writer(a, 3), writer(b, 4)])
+        assert system.read_word(a) == 3
+        assert system.read_word(b) == 4
+        for controller in system.controllers:
+            assert not controller.mshrs  # all released
+
+    def test_contended_run_releases_every_mshr(self, any_policy):
+        """No policy leaks MSHRs under a contended read/write mix."""
+        system = build_system(3, any_policy)
+        addr = system.layout.alloc_line()
+
+        def program():
+            for _ in range(4):
+                yield Write(addr, 1)
+                yield Read(addr)
+
+        run_programs(system, [program() for _ in range(3)])
+        for controller in system.controllers:
+            assert not controller.mshrs
+
+
+class TestWaiterMerge:
+    """A queued MSHR (tear-off already unblocked the CPU) accepts one —
+    and only one — newly blocked CPU operation."""
+
+    def _queued_mshr(self, system, line_addr):
+        mshr = Mshr(line_addr, None, None, start_time=0)
+        mshr.bus_op = BusOp.LPRFO
+        mshr.queued = True
+        system.controllers[0].mshrs[line_addr] = mshr
+        return mshr
+
+    def test_second_op_attaches_to_queued_mshr(self):
+        system = build_system(2, "iqolb")
+        controller = system.controllers[0]
+        addr = system.layout.alloc_line()
+        line_addr = system.amap.line_addr(addr)
+        mshr = self._queued_mshr(system, line_addr)
+
+        op = Write(addr, 9)
+        done = []
+        controller._start_miss(op, done.append, BusOp.GETX)
+        assert controller.mshrs[line_addr] is mshr  # merged, not replaced
+        assert mshr.cpu_op is op
+        assert mshr.has_waiter
+        assert not done  # still blocked until the line arrives
+
+    def test_two_blocked_ops_is_a_protocol_bug(self):
+        system = build_system(2, "iqolb")
+        controller = system.controllers[0]
+        addr = system.layout.alloc_line()
+        line_addr = system.amap.line_addr(addr)
+        self._queued_mshr(system, line_addr)
+
+        controller._start_miss(Write(addr, 1), lambda v: None, BusOp.GETX)
+        with pytest.raises(RuntimeError, match="second blocked op"):
+            controller._start_miss(Write(addr, 2), lambda v: None, BusOp.GETX)
+
+
+class TestMissWindowRaces:
+    """The re-peek races in ``_start_miss`` (fixed alongside the
+    directory backend): the decision to miss is made at lookup time, but
+    the world can change before the MSHR is allocated."""
+
+    def test_line_landed_during_miss_setup(self):
+        """A writable line that arrived mid-setup is served locally:
+        no MSHR, no bus transaction."""
+        system = build_system(2, "baseline")
+        controller = system.controllers[0]
+        addr = system.layout.alloc_line()
+
+        def program():
+            yield Write(addr, 5)  # M owner
+
+        run_programs(system, [program(), iter([])])
+        getx_before = system.stats.value("bus.GetX")
+
+        done = []
+        controller._start_miss(Write(addr, 6), done.append, BusOp.GETX)
+        system.sim.run()
+        assert done  # completed without a new miss
+        assert not controller.mshrs
+        assert system.stats.value("bus.GetX") == getx_before
+        assert system.read_word(addr) == 6
+
+    def test_upgrade_without_copy_falls_back_to_getx(self):
+        """An UPGRADE whose shared-copy premise died re-dispatches (a
+        store becomes a full GETX) instead of issuing an ungrantable,
+        unsquashable upgrade."""
+        system = build_system(2, "baseline")
+        controller = system.controllers[0]
+        addr = system.layout.alloc_line()
+        getx_before = system.stats.value("bus.GetX")
+        upgrades_before = system.stats.value("bus.Upgrade")
+
+        done = []
+        controller._start_miss(Write(addr, 8), done.append, BusOp.UPGRADE)
+        system.sim.run()
+        assert done
+        assert system.stats.value("bus.Upgrade") == upgrades_before
+        assert system.stats.value("bus.GetX") == getx_before + 1
+        assert controller.hierarchy.state_of(addr) is State.MODIFIED
+        assert system.read_word(addr) == 8
+        assert not controller.mshrs

@@ -29,9 +29,11 @@ from repro.telemetry import (
     metrics_payload,
     replay,
     stable_hash,
+    summary_payload,
     validate,
     validate_file,
     write_metrics,
+    write_metrics_archive,
 )
 from repro.workloads.splash import make_app
 
@@ -277,6 +279,45 @@ class TestMetricsExport:
         assert digest["count"] > 0
         assert digest["p50"] is not None
         assert digest["p50"] <= digest["p90"] <= digest["p99"]
+
+    def test_archive_writes_summary_plus_gz(self, tmp_path):
+        import gzip
+        import json
+
+        results = [run_app("barnes", "iqolb", 2)]
+        base = tmp_path / "BENCH_x.json"
+        full = write_metrics_archive(base, results)
+
+        gz = tmp_path / "BENCH_x.json.gz"
+        summary_path = tmp_path / "BENCH_x.summary.json"
+        # The gzip round-trips the full payload and validates as a
+        # plain metrics document (validate_file is gz-transparent).
+        assert json.loads(gzip.decompress(gz.read_bytes())) == json.loads(
+            json.dumps(full)
+        )
+        validate_file(gz, SCHEMA_DIR / "metrics.schema.json")
+        validate_file(summary_path, SCHEMA_DIR / "metrics_summary.schema.json")
+
+        summary = json.loads(summary_path.read_text())
+        (cell,) = summary["cells"]
+        assert cell["cycles"] == full["cells"][0]["cycles"]
+        assert cell["config_hash"] == full["cells"][0]["manifest"]["config_hash"]
+        assert "counters" not in cell and "histograms" not in cell
+
+        # Identical content must produce a byte-identical archive
+        # (mtime pinned), so regeneration never dirties the tree.
+        first = gz.read_bytes()
+        write_metrics_archive(base, results)
+        assert gz.read_bytes() == first
+
+    def test_summary_payload_counts_bodies(self):
+        result = run_app("barnes", "iqolb", 2)
+        full = metrics_payload([result])
+        summary = summary_payload(full)
+        assert summary["schema"] == "repro-metrics-summary/1"
+        cell = summary["cells"][0]
+        assert cell["n_counters"] == len(full["cells"][0]["counters"])
+        assert cell["n_histograms"] == len(full["cells"][0]["histograms"])
 
 
 class TestSchemaValidator:
