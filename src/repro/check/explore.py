@@ -19,6 +19,27 @@ A state fingerprint — tracked cache lines, MSHR/queue state, per-thread
 progress, and the relative shape of the pending event queue — prunes
 re-branching from states already expanded via a different interleaving.
 
+On top of the fingerprint pruning, the explorer offers **partial-order
+reduction** over the tie-break choice tree (``Budget.reduction``):
+
+* ``none`` — the exhaustive DFS above; stays available as the oracle
+  that the reductions are checked against (equivalence property tests).
+* ``sleep`` — sleep sets (Godefroid): after a sibling choice has been
+  explored from a state, later siblings carry it in their *sleep set*
+  and do not re-branch to it until some executed event conflicts with
+  it (waking it).  Independence comes from each tied event's conflict
+  footprint (:meth:`repro.engine.event.Event.footprint`): events on
+  different nodes touching disjoint cache-line sets commute; same-line
+  coherence events, same-node events, and events on shared components
+  (bus, directory, crossbar — no ``node_id``) conflict conservatively.
+* ``dpor`` — sleep sets plus dynamic backtrack seeding in the
+  Flanagan–Godefroid style: a sibling is only pushed when its candidate
+  event *conflicts* with the event actually fired at that choice point.
+  Orderings that merely delay an independent event are reachable through
+  later choice points of the same run (the un-fired ties stay tied), so
+  the adjacent-transposition of an independent pair is provably
+  redundant and skipped before execution.
+
 Every run is also *checked*: state-scan oracles fire after each event,
 event-stream oracles ride the synchronous telemetry dispatch, and
 end-of-run oracles classify how the run terminated.  A violation
@@ -30,7 +51,8 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import time as _time
-from typing import Any, Dict, List, Optional, Sequence
+from collections import Counter
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.check.faults import FaultInjector, FaultPlan
 from repro.check.oracles import (
@@ -100,14 +122,51 @@ class RunSpec:
         return cls(**data)
 
 
+#: the reduction strategies ``explore`` understands
+REDUCTIONS = ("none", "sleep", "dpor")
+
+
 @dataclasses.dataclass
 class Budget:
-    """How much exploration one cell may spend."""
+    """How much exploration one cell may spend, and with what reduction."""
 
     max_schedules: int = 200
     max_steps: int = 60_000
     max_depth: int = 40
     stop_on_violation: bool = True
+    #: partial-order reduction over the choice tree: none | sleep | dpor
+    reduction: str = "none"
+
+    def __post_init__(self) -> None:
+        if self.reduction not in REDUCTIONS:
+            raise ValueError(
+                f"unknown reduction {self.reduction!r}; "
+                f"known: {', '.join(REDUCTIONS)}"
+            )
+
+
+#: a candidate's conflict key: (node, frozenset of line addrs, label)
+CandidateKey = Tuple[Optional[int], FrozenSet[int], str]
+
+
+def independent(a: CandidateKey, b: CandidateKey) -> bool:
+    """Do two tied-head candidates commute?
+
+    Events on *different* nodes touching *disjoint, known* cache-line
+    sets commute: each only mutates its own node's cache/MSHR state for
+    lines the other never looks at.  Everything else — same node
+    (program order, shared controller state), same line (coherence
+    order), unknown node (bus/directory/crossbar events mutate shared
+    arbitration state), or unknown footprint — conflicts conservatively.
+    The relation is symmetric by construction.
+    """
+    node_a, lines_a, _ = a
+    node_b, lines_b, _ = b
+    if node_a is None or node_b is None or node_a == node_b:
+        return False
+    if not lines_a or not lines_b:
+        return False
+    return not (lines_a & lines_b)
 
 
 @dataclasses.dataclass
@@ -125,6 +184,16 @@ class RunOutcome:
     detail: str = ""
     fault_summary: Optional[Dict[str, int]] = None
     stats: Optional[Dict[str, int]] = None
+    #: per choice point (conflict tracking only): each tied candidate's
+    #: conflict key, its event sequence number, and the sleep set as it
+    #: stood when the choice was taken
+    candidates: List[List[CandidateKey]] = dataclasses.field(
+        default_factory=list
+    )
+    candidate_seqs: List[List[int]] = dataclasses.field(default_factory=list)
+    sleep_at: List[FrozenSet[CandidateKey]] = dataclasses.field(
+        default_factory=list
+    )
 
 
 @dataclasses.dataclass
@@ -144,11 +213,33 @@ class ExploreReport:
     #: summed protocol/fault counters across runs (fault cells only):
     #: dir.retries, dir.defer_nacks, timeouts, fault.delays, fault.drops...
     fault_stats: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: which reduction explored this cell (mirrors Budget.reduction)
+    reduction: str = "none"
+    #: siblings not pushed because their candidate slept (sleep/dpor)
+    pruned_sleep: int = 0
+    #: siblings not pushed because their candidate was independent of
+    #: the event fired at that choice point (dpor backtrack seeding)
+    pruned_dpor: int = 0
+    #: every distinct state fingerprint seen at any choice point, across
+    #: all schedules — the coverage metric the reductions are judged by
+    state_fingerprints: Set[str] = dataclasses.field(
+        default_factory=set, repr=False
+    )
+
+    @property
+    def distinct_states(self) -> int:
+        return len(self.state_fingerprints)
 
     @property
     def interleavings(self) -> int:
         """Distinct interleavings executed (one per schedule)."""
         return self.schedules_run
+
+
+def _candidate_key(event, amap) -> CandidateKey:
+    """A tied candidate's conflict key, with addresses folded to lines."""
+    node, addrs, label = event.footprint()
+    return (node, frozenset(amap.line_addr(a) for a in addrs), label)
 
 
 def _fingerprint(system, tracked_lines: Sequence[int]) -> str:
@@ -197,6 +288,8 @@ def run_once(
     budget: Optional[Budget] = None,
     extra_sinks: Optional[List[Any]] = None,
     record_tree: bool = True,
+    track_conflicts: bool = False,
+    sleep: FrozenSet[CandidateKey] = frozenset(),
 ) -> RunOutcome:
     """Execute one schedule through a fresh system and check it.
 
@@ -205,6 +298,14 @@ def run_once(
     branching factors and state fingerprints are recorded for the DFS.
     ``extra_sinks`` attach to the run's telemetry dispatcher (e.g. a
     Chrome-trace sink during counterexample replay).
+
+    With ``track_conflicts``, each choice point additionally records the
+    tied candidates' conflict keys and the evolving sleep set.  ``sleep``
+    seeds that set: it holds the choices already explored from the state
+    where this schedule branched off its parent, and entries are *woken*
+    (dropped) as soon as an executed event conflicts with them — waking
+    only starts past the forced prefix, because everything before the
+    branch point is a replay the parent already accounted for.
     """
     budget = budget if budget is not None else Budget()
     built = build_scenario(
@@ -217,19 +318,20 @@ def run_once(
         spec.max_cycles,
     )
     system = built.system
-    install_mutation(spec.mutation, system)
+    install_mutation(spec.mutation, system, built.workload)
 
     policy, _ = PRIMITIVES[spec.primitive]
     retention = policy.endswith("+retention") or policy == "qolb"
+    handoff_oracle = HandoffOracle(
+        system, built.workload.handoff_lines(system), fifo=retention
+    )
     oracles: List[Oracle] = [
         SwmrOracle(built.tracked_lines),
         DataValueOracle(built.tracked_lines),
-        HandoffOracle(
-            system, [built.workload.lock_line(system)], fifo=retention
-        ),
+        handoff_oracle,
         ProgressOracle(policy),
     ]
-    handoff_oracle = oracles[2]
+    oracles.extend(built.workload.extra_oracles(system))
 
     dispatcher = TraceDispatcher()
     dispatcher.attach(OracleSink(oracles))
@@ -245,6 +347,9 @@ def run_once(
     outcome = RunOutcome(status=OUTCOME_FINISHED, observed=list(schedule))
     sim = system.sim
     tracked = built.tracked_lines
+    amap = system.amap
+    forced_len = len(schedule)
+    current_sleep: Set[CandidateKey] = set(sleep)
 
     def tie_breaker(ties):
         depth = len(outcome.branching)
@@ -260,10 +365,19 @@ def run_once(
         else:
             # Past the exploration horizon: follow defaults and record
             # nothing (the DFS will not branch beyond max_depth).
+            current_sleep.clear()
             return 0
         if record_tree:
             outcome.branching.append(len(ties))
             outcome.fingerprints.append(_fingerprint(system, tracked))
+            if track_conflicts:
+                outcome.candidates.append(
+                    [_candidate_key(e, amap) for e in ties]
+                )
+                outcome.candidate_seqs.append([e.seq for e in ties])
+                # Snapshot the sleep set *before* this choice fires, so
+                # the DFS can seed siblings with exactly what slept here.
+                outcome.sleep_at.append(frozenset(current_sleep))
             if depth >= len(schedule):
                 outcome.observed.append(choice)
         else:
@@ -274,6 +388,23 @@ def run_once(
         outcome.steps += 1
         if outcome.steps > budget.max_steps:
             raise BudgetExceeded()
+        # Wake sleeping choices as soon as a conflicting event executes —
+        # any event, not just chosen ties: an inter-choice event can
+        # re-enable a reordering the parent never covered.  Waking only
+        # applies past the forced prefix; the replayed prefix is history
+        # the parent's own exploration already accounted for.
+        if (
+            track_conflicts
+            and current_sleep
+            and len(outcome.branching) >= forced_len
+        ):
+            fired = sim.last_event
+            if fired is not None:
+                fkey = _candidate_key(fired, amap)
+                for skey in [
+                    s for s in current_sleep if not independent(s, fkey)
+                ]:
+                    current_sleep.discard(skey)
         for oracle in oracles:
             oracle.on_step(system)
 
@@ -334,13 +465,18 @@ def run_once(
 def explore(spec: RunSpec, budget: Optional[Budget] = None) -> ExploreReport:
     """DFS over the tie-break choice tree of one cell."""
     budget = budget if budget is not None else Budget()
-    report = ExploreReport(spec=spec)
+    report = ExploreReport(spec=spec, reduction=budget.reduction)
     started = _time.perf_counter()
-    stack: List[List[int]] = [[]]
+    track = budget.reduction != "none"
+    # Stack entries: (forced schedule prefix, sleep set seeded from the
+    # choices already explored at the branch point).
+    stack: List[Tuple[List[int], FrozenSet[CandidateKey]]] = [([], frozenset())]
     visited: set = set()
     while stack and report.schedules_run < budget.max_schedules:
-        prefix = stack.pop()
-        outcome = run_once(spec, prefix, budget)
+        prefix, sleep0 = stack.pop()
+        outcome = run_once(
+            spec, prefix, budget, track_conflicts=track, sleep=sleep0
+        )
         report.schedules_run += 1
         report.statuses[outcome.status] = (
             report.statuses.get(outcome.status, 0) + 1
@@ -348,6 +484,7 @@ def explore(spec: RunSpec, budget: Optional[Budget] = None) -> ExploreReport:
         report.choice_points += len(outcome.branching)
         report.handoffs += outcome.handoffs
         report.max_depth_seen = max(report.max_depth_seen, len(outcome.branching))
+        report.state_fingerprints.update(outcome.fingerprints)
         if outcome.stats:
             for key, value in outcome.stats.items():
                 report.fault_stats[key] = report.fault_stats.get(key, 0) + value
@@ -370,7 +507,8 @@ def explore(spec: RunSpec, budget: Optional[Budget] = None) -> ExploreReport:
         # points, deepest first so the stack pops in DFS order.
         horizon = min(len(outcome.branching), budget.max_depth)
         for depth in range(horizon - 1, len(prefix) - 1, -1):
-            if outcome.branching[depth] < 2:
+            width = outcome.branching[depth]
+            if width < 2:
                 continue
             if depth < len(outcome.fingerprints):
                 fp = outcome.fingerprints[depth]
@@ -378,8 +516,39 @@ def explore(spec: RunSpec, budget: Optional[Budget] = None) -> ExploreReport:
                     report.pruned += 1
                     continue
                 visited.add(fp)
-            for alt in range(1, outcome.branching[depth]):
-                stack.append(list(outcome.observed[:depth]) + [alt])
+            if not track:
+                for alt in range(1, width):
+                    stack.append(
+                        (list(outcome.observed[:depth]) + [alt], frozenset())
+                    )
+                continue
+            keys = outcome.candidates[depth]
+            counts = Counter(keys)
+            base_sleep = outcome.sleep_at[depth]
+            taken = keys[outcome.observed[depth]]
+            # Choices explored from this state so far, in push order; each
+            # later sibling sleeps on the earlier ones — but only keys that
+            # uniquely identify one candidate here, else two distinct tied
+            # events sharing a footprint would shadow each other.
+            explored = [taken]
+            for alt in range(1, width):
+                key = keys[alt]
+                if key in base_sleep and counts[key] == 1:
+                    report.pruned_sleep += 1
+                    continue
+                if budget.reduction == "dpor" and independent(key, taken):
+                    # The alt commutes with the event this run fired here,
+                    # so firing it later (it stays tied at the next choice
+                    # points) reaches the same states — no need to branch.
+                    report.pruned_dpor += 1
+                    continue
+                new_sleep = base_sleep | frozenset(
+                    k for k in explored if counts[k] == 1
+                )
+                stack.append(
+                    (list(outcome.observed[:depth]) + [alt], new_sleep)
+                )
+                explored.append(key)
     report.frontier_left = len(stack)
     report.wall_time_s = _time.perf_counter() - started
     return report

@@ -196,6 +196,135 @@ class CsMonitor:
         self.inside.discard(tid)
 
 
+class BarrierMonitor(Oracle):
+    """All-arrive-before-any-depart, per barrier round.
+
+    Scenario programs call :meth:`arrive` once their pre-barrier work is
+    globally visible (just before entering the barrier protocol) and
+    :meth:`depart` immediately after the barrier releases them.  A depart
+    while any party has not arrived at that round is the barrier's safety
+    violation — a sense flip released waiters early.  Registered as an
+    end-of-run oracle too: a *finished* run must have departed every
+    round exactly ``parties`` times.
+    """
+
+    name = "barrier-phase"
+
+    def __init__(self, parties: int, rounds: int) -> None:
+        self.parties = parties
+        self.rounds = rounds
+        #: per round: the set of parties that arrived
+        self.arrived: Dict[int, Set[int]] = {}
+        #: per round: the set of parties that departed
+        self.departed: Dict[int, Set[int]] = {}
+
+    def arrive(self, tid: int, round_no: int) -> None:
+        arrived = self.arrived.setdefault(round_no, set())
+        if tid in arrived:
+            raise Violation(
+                self.name,
+                f"T{tid} arrived at round {round_no} twice",
+            )
+        arrived.add(tid)
+
+    def depart(self, tid: int, round_no: int) -> None:
+        arrived = self.arrived.get(round_no, set())
+        if tid not in arrived:
+            raise Violation(
+                self.name,
+                f"T{tid} departed round {round_no} without arriving",
+            )
+        if len(arrived) < self.parties:
+            missing = sorted(set(range(self.parties)) - arrived)
+            raise Violation(
+                self.name,
+                f"T{tid} departed round {round_no} with only "
+                f"{len(arrived)}/{self.parties} arrivals "
+                f"(missing {missing})",
+            )
+        self.departed.setdefault(round_no, set()).add(tid)
+
+    def at_end(self, system, outcome: str) -> None:
+        if outcome != OUTCOME_FINISHED:
+            return
+        for round_no in range(self.rounds):
+            departed = self.departed.get(round_no, set())
+            if len(departed) != self.parties:
+                raise Violation(
+                    self.name,
+                    f"run finished but round {round_no} was departed by "
+                    f"{len(departed)}/{self.parties} parties",
+                    time=system.sim.now,
+                )
+
+
+class McsQueueMonitor(Oracle):
+    """MCS hand-off follows queue (swap) order, plus mutual exclusion.
+
+    The MCS queue order is defined by the atomic swaps on the tail
+    pointer; each swap returns the predecessor's node, so the scenario
+    program can report, per acquisition, *who* it queued behind
+    (:meth:`enqueued`).  A thread with a predecessor may enter the
+    critical section only after that predecessor's release for the same
+    acquisition has completed (:meth:`released`) — entering earlier means
+    the hand-off jumped the queue.  Because the constraint is derived
+    from the predecessor links rather than callback arrival order, it is
+    immune to completion-latency races between threads.
+    """
+
+    name = "mcs-order"
+
+    def __init__(self) -> None:
+        self.inside: Set[int] = set()
+        self.entries = 0
+        #: per thread: completed releases so far
+        self.releases: Dict[int, int] = {}
+        #: per waiting thread: (predecessor, release count that must be
+        #: reached before this thread may enter)
+        self.need: Dict[int, Tuple[int, int]] = {}
+
+    def enqueued(self, tid: int, pred_tid: Optional[int]) -> None:
+        if pred_tid is not None:
+            self.need[tid] = (pred_tid, self.releases.get(pred_tid, 0) + 1)
+
+    def enter(self, tid: int) -> None:
+        if self.inside:
+            raise Violation(
+                self.name,
+                f"T{tid} entered the critical section while "
+                f"{sorted(self.inside)} inside",
+            )
+        need = self.need.pop(tid, None)
+        if need is not None:
+            pred, count = need
+            if self.releases.get(pred, 0) < count:
+                raise Violation(
+                    self.name,
+                    f"T{tid} entered before its queue predecessor "
+                    f"T{pred} released — hand-off jumped the MCS queue",
+                )
+        self.inside.add(tid)
+        self.entries += 1
+
+    def exit(self, tid: int) -> None:
+        self.inside.discard(tid)
+
+    def released(self, tid: int) -> None:
+        self.releases[tid] = self.releases.get(tid, 0) + 1
+
+    def at_end(self, system, outcome: str) -> None:
+        if outcome != OUTCOME_FINISHED:
+            return
+        if self.need:
+            waiting = sorted(self.need)
+            raise Violation(
+                self.name,
+                f"run finished with {waiting} still queued and never "
+                f"granted the lock",
+                time=system.sim.now,
+            )
+
+
 class HandoffOracle(Oracle):
     """Exactly-once hand-off per release, in queue order.
 

@@ -43,6 +43,10 @@ class JobResult:
     handoffs: int
     wall_time_s: float
     fault_stats: Dict[str, int]
+    reduction: str = "none"
+    distinct_states: int = 0
+    pruned_sleep: int = 0
+    pruned_dpor: int = 0
 
 
 def run_job(job: CheckJob) -> JobResult:
@@ -61,6 +65,10 @@ def run_job(job: CheckJob) -> JobResult:
         handoffs=report.handoffs,
         wall_time_s=report.wall_time_s,
         fault_stats=report.fault_stats,
+        reduction=report.reduction,
+        distinct_states=report.distinct_states,
+        pruned_sleep=report.pruned_sleep,
+        pruned_dpor=report.pruned_dpor,
     )
 
 
@@ -83,6 +91,7 @@ def smoke_jobs(
     stop_on_violation: bool = True,
     timeout_cycles: Optional[int] = 400,
     max_cycles: int = 2_000_000,
+    reduction: str = "none",
 ) -> List[CheckJob]:
     """The policy-ladder x fabric matrix with uniform budgets.
 
@@ -97,6 +106,7 @@ def smoke_jobs(
         max_steps=max_steps,
         max_depth=max_depth,
         stop_on_violation=stop_on_violation,
+        reduction=reduction,
     )
     jobs: List[CheckJob] = []
     for fabric in fabrics:

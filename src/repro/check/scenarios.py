@@ -12,14 +12,22 @@ and reports which line addresses the state-scan oracles should track.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional
 
-from repro.check.oracles import CsMonitor
-from repro.cpu.ops import Compute, Read, Write
+from repro.check.oracles import (
+    BarrierMonitor,
+    CsMonitor,
+    McsQueueMonitor,
+    Violation,
+)
+from repro.cpu.ops import Compute, Read, Swap, Write
 from repro.harness.config import SystemConfig
 from repro.harness.experiment import PRIMITIVES
 from repro.harness.system import System
-from repro.sync.fetchop import fetch_and_add
+from repro.sync.barrier import Barrier
+from repro.sync.fetchop import compare_and_swap, fetch_and_add
+from repro.sync.mcs import FLAG_OFFSET, NEXT_OFFSET, SPIN_PAUSE
+from repro.sync.primitives import synthetic_pc
 from repro.workloads.base import LockSet, Workload
 
 #: the policy ladder the smoke matrix sweeps (5 primitives)
@@ -127,6 +135,214 @@ class SmallCounter(Workload):
             )
 
 
+class BarrierEpochs(Workload):
+    """Sense-reversing barrier (``sync/barrier.py``), N nodes x R rounds.
+
+    Each round, every thread bumps a per-round work counter (an atomic
+    fetch&add on its own line), reports arrival to a
+    :class:`BarrierMonitor`, waits on the shared :class:`Barrier`, and on
+    release checks — in-program, against simulated memory — that the
+    round's counter already equals the party count.  Departing before all
+    parties arrived therefore trips either the monitor (phase-order
+    violation) or the memory check (a party's work was not yet visible):
+    the all-arrive-before-any-depart oracle at both the program and the
+    coherence level.
+    """
+
+    name = "barrier-epochs"
+
+    def __init__(self, rounds: int = 2, think_cycles: int = 20) -> None:
+        self.rounds = rounds
+        self.think_cycles = think_cycles
+        self.monitor: Optional[BarrierMonitor] = None
+        self.barrier: Optional[Barrier] = None
+        self.parties = 0
+        self.round_addrs: List[int] = []
+
+    def build(self, system: System) -> None:
+        self.parties = system.config.n_processors
+        self.monitor = BarrierMonitor(self.parties, self.rounds)
+        count_addr = system.layout.alloc_line()
+        sense_addr = system.layout.alloc_line()
+        self.barrier = Barrier(count_addr, sense_addr, self.parties)
+        self.round_addrs = [
+            system.layout.alloc_line() for _ in range(self.rounds)
+        ]
+        for node in range(self.parties):
+            system.load_program(node, self._program(node))
+
+    def tracked_lines(self, system: System) -> List[int]:
+        lines = [
+            system.amap.line_addr(self.barrier.count_addr),
+            system.amap.line_addr(self.barrier.sense_addr),
+        ]
+        lines.extend(system.amap.line_addr(a) for a in self.round_addrs)
+        return lines
+
+    def lock_line(self, system: System) -> int:
+        # The fetch&add'ed arrival count is the contended hand-off line.
+        return system.amap.line_addr(self.barrier.count_addr)
+
+    def extra_oracles(self, system: System) -> List[object]:
+        return [self.monitor]
+
+    def _program(self, tid: int):
+        local_sense = 0
+        for round_no in range(self.rounds):
+            yield from fetch_and_add(
+                self.round_addrs[round_no], 1, "round.work"
+            )
+            self.monitor.arrive(tid, round_no)
+            local_sense = yield from self.barrier.wait(local_sense)
+            self.monitor.depart(tid, round_no)
+            done = yield Read(self.round_addrs[round_no])
+            if done != self.parties:
+                raise Violation(
+                    self.monitor.name,
+                    f"T{tid} departed round {round_no} with the round "
+                    f"counter at {done}/{self.parties} — a party's work "
+                    f"was not yet visible",
+                )
+            yield Compute(self.think_cycles)
+
+    def verify(self, system: System) -> None:
+        for round_no, addr in enumerate(self.round_addrs):
+            actual = system.read_word(addr)
+            if actual != self.parties:
+                raise AssertionError(
+                    f"round {round_no} counter={actual}, "
+                    f"expected {self.parties}"
+                )
+        count = system.read_word(self.barrier.count_addr)
+        if count != 0:
+            raise AssertionError(
+                f"barrier count not reset after the last round: {count}"
+            )
+        sense = system.read_word(self.barrier.sense_addr)
+        if sense != self.rounds % 2:
+            raise AssertionError(
+                f"global sense={sense} after {self.rounds} rounds, "
+                f"expected {self.rounds % 2}"
+            )
+
+
+class McsHandoff(Workload):
+    """MCS queue-lock hand-off race, instrumented at the protocol points.
+
+    The program mirrors :class:`~repro.sync.mcs.McsLock`'s acquire and
+    release step for step (same node layout — ``FLAG_OFFSET`` /
+    ``NEXT_OFFSET`` imported from ``sync/mcs.py`` — same swap/CAS/spin
+    sequence), with :class:`McsQueueMonitor` hooks inserted where the
+    lock's own generators leave no seam: after the tail swap (queue
+    position becomes known), at critical-section entry, and when the
+    release completes.  ``drop_next_handoff`` is the scenario's seeded
+    mutation: the releaser "forgets" the successor flag write, the exact
+    hand-off bug the queue-order oracle exists to catch.
+    """
+
+    name = "mcs-handoff"
+
+    def __init__(
+        self, acquires_per_proc: int = 2, think_cycles: int = 25
+    ) -> None:
+        self.acquires_per_proc = acquires_per_proc
+        self.think_cycles = think_cycles
+        self.monitor: Optional[McsQueueMonitor] = None
+        #: seeded mutation: skip the successor's flag write on release
+        self.drop_next_handoff = False
+        self.tail_addr = 0
+        self.token_addr = 0
+        self.node_addrs: List[int] = []
+        self.owner_of: Dict[int, int] = {}
+        self.expected = 0
+        self.pc_spin = synthetic_pc("mcs.check.spin")
+
+    def build(self, system: System) -> None:
+        n = system.config.n_processors
+        self.monitor = McsQueueMonitor()
+        self.tail_addr = system.layout.alloc_line()
+        self.token_addr = system.layout.alloc_line()
+        self.node_addrs = [system.layout.alloc_line() for _ in range(n)]
+        self.owner_of = {addr: tid for tid, addr in enumerate(self.node_addrs)}
+        self.expected = n * self.acquires_per_proc
+        for node in range(n):
+            system.load_program(node, self._program(node))
+
+    def tracked_lines(self, system: System) -> List[int]:
+        lines = [
+            system.amap.line_addr(self.tail_addr),
+            system.amap.line_addr(self.token_addr),
+        ]
+        lines.extend(system.amap.line_addr(a) for a in self.node_addrs)
+        return lines
+
+    def lock_line(self, system: System) -> int:
+        return system.amap.line_addr(self.tail_addr)
+
+    def extra_oracles(self, system: System) -> List[object]:
+        return [self.monitor]
+
+    def _acquire(self, tid: int):
+        node = self.node_addrs[tid]
+        yield Write(node + NEXT_OFFSET, 0)
+        yield Write(node + FLAG_OFFSET, 0)
+        predecessor = yield Swap(self.tail_addr, node)
+        self.monitor.enqueued(tid, self.owner_of.get(predecessor))
+        if predecessor == 0:
+            return
+        yield Write(predecessor + NEXT_OFFSET, node)
+        while True:
+            flag = yield Read(node + FLAG_OFFSET, pc=self.pc_spin)
+            if flag:
+                return
+            yield Compute(SPIN_PAUSE)
+
+    def _release(self, tid: int):
+        node = self.node_addrs[tid]
+        next_node = yield Read(node + NEXT_OFFSET)
+        if next_node == 0:
+            swapped = yield from compare_and_swap(
+                self.tail_addr, node, 0, pc_label="mcs.release_cas"
+            )
+            if swapped:
+                self.monitor.released(tid)
+                return
+            while True:
+                next_node = yield Read(node + NEXT_OFFSET)
+                if next_node != 0:
+                    break
+                yield Compute(SPIN_PAUSE)
+        # Record the release *before* the hand-off store commits: once it
+        # does, the successor's spinning Read may observe the flag and
+        # enter ahead of this generator's next resumption.
+        self.monitor.released(tid)
+        if not self.drop_next_handoff:
+            yield Write(next_node + FLAG_OFFSET, 1)
+
+    def _program(self, tid: int):
+        for _ in range(self.acquires_per_proc):
+            yield from self._acquire(tid)
+            self.monitor.enter(tid)
+            value = yield Read(self.token_addr)
+            yield Write(self.token_addr, value + 1)
+            self.monitor.exit(tid)
+            yield from self._release(tid)
+            yield Compute(self.think_cycles)
+
+    def verify(self, system: System) -> None:
+        actual = system.read_word(self.token_addr)
+        if actual != self.expected:
+            raise AssertionError(
+                f"mutual exclusion violated: token={actual}, "
+                f"expected {self.expected}"
+            )
+        tail = system.read_word(self.tail_addr)
+        if tail != 0:
+            raise AssertionError(
+                f"MCS tail not nil after all releases: {tail:#x}"
+            )
+
+
 @dataclasses.dataclass
 class BuiltScenario:
     """Everything a checker run needs, freshly constructed."""
@@ -134,7 +350,9 @@ class BuiltScenario:
     system: System
     workload: Workload
     tracked_lines: List[int]
-    monitor: Optional[CsMonitor]
+    #: the workload's in-process monitor (CsMonitor, BarrierMonitor,
+    #: McsQueueMonitor, ...) or None when the scenario has none
+    monitor: Optional[object]
 
 
 def make_config(
@@ -154,6 +372,47 @@ def make_config(
     )
 
 
+def _make_lock(primitive: str, acquires_per_proc: int) -> Workload:
+    _policy, lock_kind = PRIMITIVES[primitive]
+    return MonitoredCriticalSection(
+        lock_kind=lock_kind, acquires_per_proc=acquires_per_proc
+    )
+
+
+def _make_counter(primitive: str, acquires_per_proc: int) -> Workload:
+    return SmallCounter(increments_per_proc=acquires_per_proc)
+
+
+def _make_barrier(primitive: str, acquires_per_proc: int) -> Workload:
+    return BarrierEpochs(rounds=acquires_per_proc)
+
+
+def _make_mcs(primitive: str, acquires_per_proc: int) -> Workload:
+    return McsHandoff(acquires_per_proc=acquires_per_proc)
+
+
+#: the scenario registry: one dict so the CLI ``choices``, the runner
+#: matrix, and the unknown-scenario error message cannot drift apart.
+#: Each factory takes ``(primitive, acquires_per_proc)`` — the per-proc
+#: knob doubles as rounds for the barrier scenario.
+SCENARIOS: Dict[str, Callable[[str, int], Workload]] = {
+    "lock": _make_lock,
+    "counter": _make_counter,
+    "barrier": _make_barrier,
+    "mcs": _make_mcs,
+}
+
+
+def scenario_names() -> List[str]:
+    """Registry keys, sorted — the single source for CLI choices."""
+    return sorted(SCENARIOS)
+
+
+def mutation_names() -> List[str]:
+    """Mutation registry keys, sorted — the single source for CLI choices."""
+    return sorted(MUTATIONS)
+
+
 def build_scenario(
     scenario: str,
     primitive: str,
@@ -164,18 +423,17 @@ def build_scenario(
     max_cycles: int,
 ) -> BuiltScenario:
     """Construct system + workload for one checker cell (not yet run)."""
+    try:
+        factory = SCENARIOS[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; "
+            f"known: {', '.join(scenario_names())}"
+        ) from None
     config = make_config(
         primitive, interconnect, n_processors, timeout_cycles, max_cycles
     )
-    _policy, lock_kind = PRIMITIVES[primitive]
-    if scenario == "lock":
-        workload: Workload = MonitoredCriticalSection(
-            lock_kind=lock_kind, acquires_per_proc=acquires_per_proc
-        )
-    elif scenario == "counter":
-        workload = SmallCounter(increments_per_proc=acquires_per_proc)
-    else:
-        raise ValueError(f"unknown scenario {scenario!r}; known: lock, counter")
+    workload = factory(primitive, acquires_per_proc)
     system = System(config)
     workload.build(system)
     return BuiltScenario(
@@ -186,29 +444,79 @@ def build_scenario(
     )
 
 
-def install_mutation(name: Optional[str], system: System) -> None:
-    """Deliberately break the protocol — the checker's own self-test.
+def _mutate_skip_release_handoff(system: System, workload: Workload) -> None:
+    """Every controller silently drops the ownership hand-off a release
+    should trigger — the "exactly-once per acquire/release pair" bug."""
+    for controller in system.controllers:
+        original = controller.discharge
 
-    ``skip_release_handoff`` makes every controller silently drop the
-    ownership hand-off a release should trigger, exactly the
-    "exactly-once per acquire/release pair" bug the checker exists to
-    catch.  Combined with an effectively infinite timeout (so the
-    timeout path cannot mask it), the seeded-mutation CI job asserts the
-    checker produces a counterexample.
+        def patched(line_addr, reason, _original=original):
+            if reason == "release":
+                return None
+            return _original(line_addr, reason)
+
+        controller.discharge = patched
+
+
+def _require(workload: Workload, cls: type, mutation: str):
+    if not isinstance(workload, cls):
+        raise ValueError(
+            f"mutation {mutation!r} requires the {cls.name!r} scenario, "
+            f"not {workload.name!r}"
+        )
+    return workload
+
+
+def _mutate_barrier_skip_sense_flip(system: System, workload) -> None:
+    """The last arriver never recognizes itself (the arrival count can
+    never reach ``parties``), so the sense flip is skipped entirely and
+    every waiter starves — caught as a liveness violation."""
+    barrier = _require(workload, BarrierEpochs, "barrier_skip_sense_flip").barrier
+    barrier.parties += 1
+
+
+def _mutate_barrier_early_release(system: System, workload) -> None:
+    """The second-to-last arriver flips the sense, releasing waiters
+    while one party has not arrived — the all-arrive-before-any-depart
+    violation the barrier oracle exists to catch."""
+    barrier = _require(workload, BarrierEpochs, "barrier_early_release").barrier
+    if barrier.parties < 2:
+        raise ValueError("barrier_early_release needs at least 2 parties")
+    barrier.parties -= 1
+
+
+def _mutate_mcs_drop_handoff(system: System, workload) -> None:
+    """The MCS releaser "forgets" the successor's flag write: the queued
+    next waiter spins forever — the dropped next-pointer hand-off."""
+    _require(workload, McsHandoff, "mcs_drop_handoff").drop_next_handoff = True
+
+
+#: mutation registry: protocol-level mutations patch the system, the
+#: scenario-level ones arm a deliberate bug in the workload itself.
+MUTATIONS: Dict[str, Callable[[System, Workload], None]] = {
+    "skip_release_handoff": _mutate_skip_release_handoff,
+    "barrier_skip_sense_flip": _mutate_barrier_skip_sense_flip,
+    "barrier_early_release": _mutate_barrier_early_release,
+    "mcs_drop_handoff": _mutate_mcs_drop_handoff,
+}
+
+
+def install_mutation(
+    name: Optional[str], system: System, workload: Optional[Workload] = None
+) -> None:
+    """Deliberately break the protocol or scenario — the checker's own
+    self-test.
+
+    A checker that never fires is indistinguishable from one that
+    cannot; each scenario has at least one seeded mutation whose
+    violation the CI self-test asserts is found *and* replayable.
     """
     if name is None:
         return
-    if name == "skip_release_handoff":
-        for controller in system.controllers:
-            original = controller.discharge
-
-            def patched(line_addr, reason, _original=original):
-                if reason == "release":
-                    return None
-                return _original(line_addr, reason)
-
-            controller.discharge = patched
-    else:
+    try:
+        installer = MUTATIONS[name]
+    except KeyError:
         raise ValueError(
-            f"unknown mutation {name!r}; known: skip_release_handoff"
-        )
+            f"unknown mutation {name!r}; known: {', '.join(sorted(MUTATIONS))}"
+        ) from None
+    installer(system, workload)

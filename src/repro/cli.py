@@ -273,6 +273,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         mutation=args.mutate,
         timeout_cycles=args.timeout_cycles,
         max_cycles=args.max_cycles,
+        reduction=args.reduction,
     )
     print(f"exploring {len(jobs)} cell(s) with {args.jobs} worker(s)",
           file=sys.stderr)
@@ -287,7 +288,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
             f"{result.interleavings:,}",
             str(len(result.violations)),
             f"{result.choice_points:,}",
+            f"{result.distinct_states:,}",
             f"{result.pruned:,}",
+            f"{result.pruned_sleep + result.pruned_dpor:,}",
             str(result.max_depth_seen),
             f"{result.wall_time_s:.1f}s",
         ])
@@ -302,10 +305,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 counterexample.save(path)
                 counterexamples.append(path)
     print(render_table(
-        ["cell", "interleavings", "viol", "choice pts", "pruned",
-         "depth", "wall"],
+        ["cell", "interleavings", "viol", "choice pts", "states",
+         "pruned", "por", "depth", "wall"],
         rows,
-        title="bounded model check",
+        title=f"bounded model check (reduction={args.reduction})",
     ))
     total = sum(r.interleavings for r in results)
     violations = sum(len(r.violations) for r in results)
@@ -325,8 +328,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
             json.dump(
                 {
                     "kind": "repro-check-report",
+                    "reduction": args.reduction,
                     "total_interleavings": total,
                     "total_violations": violations,
+                    "total_distinct_states": sum(
+                        r.distinct_states for r in results
+                    ),
                     "fault_stats": fault_stats,
                     "counterexamples": counterexamples,
                     "cells": [
@@ -337,7 +344,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
                             "violations": r.violations,
                             "statuses": r.statuses,
                             "choice_points": r.choice_points,
+                            "distinct_states": r.distinct_states,
                             "pruned": r.pruned,
+                            "pruned_sleep": r.pruned_sleep,
+                            "pruned_dpor": r.pruned_dpor,
+                            "reduction": r.reduction,
                             "frontier_left": r.frontier_left,
                             "max_depth_seen": r.max_depth_seen,
                             "handoffs": r.handoffs,
@@ -457,9 +468,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="run the default policy-ladder x fabric matrix "
                          "(the flag documents intent; defaults already "
                          "describe the smoke matrix)")
+    from repro.check.scenarios import mutation_names, scenario_names
+
     pc.add_argument("--scenario", default="lock",
-                    choices=("lock", "counter"),
+                    choices=scenario_names(),
                     help="workload shape to explore (default: lock)")
+    pc.add_argument("--reduction", default="none",
+                    choices=("none", "sleep", "dpor"),
+                    help="partial-order reduction over the choice tree: "
+                         "sleep sets, or sleep sets + dynamic backtrack "
+                         "seeding (default: none — the exhaustive oracle)")
     pc.add_argument("--primitives", nargs="+", metavar="PRIM",
                     choices=sorted(PRIMITIVES),
                     help="primitives to sweep (default: the 5-rung ladder)")
@@ -485,8 +503,10 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="SEED",
                     help="fault-injector seeds (with --faults; default: 1)")
     pc.add_argument("--mutate", metavar="NAME",
-                    help="install a seeded protocol mutation "
-                         "(skip_release_handoff) — checker self-test")
+                    choices=mutation_names(),
+                    help="install a seeded protocol/workload mutation "
+                         f"({', '.join(mutation_names())}) — "
+                         "checker self-test")
     pc.add_argument("--expect-violation", action="store_true",
                     help="exit 0 only if a violation IS found "
                          "(for the seeded-mutation self-test)")

@@ -27,7 +27,15 @@ class Event:
     heap garbage, which the kernel tolerates happily.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "callback",
+        "args",
+        "cancelled",
+        "_footprint",
+    )
 
     def __init__(
         self,
@@ -43,10 +51,49 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._footprint: Optional[tuple] = None
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it."""
         self.cancelled = True
+
+    def footprint(self) -> tuple:
+        """Conflict metadata ``(node, addrs, label)`` for the checker.
+
+        The model checker's independence relation needs to know, for two
+        events tied at the head of the queue, whether their firing order
+        can matter.  The footprint is a best-effort static summary:
+
+        * ``node`` — the ``node_id`` of the bound-method owner (a cache
+          controller or processor), or ``None`` when the event belongs to
+          a shared component (bus, crossbar, directory) or a free
+          function.  ``None`` means "touches shared state": the checker
+          must treat the event as conflicting with everything.
+        * ``addrs`` — addresses mentioned by the arguments: ``line_addr``
+          attributes (interconnect messages, directory transactions) and
+          ``addr`` attributes (CPU ops).  An empty tuple means the
+          footprint is unknown, which the checker also treats
+          conservatively.
+        * ``label`` — the callback's qualified name, used to tell apart
+          distinct transitions that happen to share node and addresses.
+
+        The result is cached: footprints are immutable once scheduled.
+        """
+        if self._footprint is None:
+            owner = getattr(self.callback, "__self__", None)
+            node = getattr(owner, "node_id", None) if owner is not None else None
+            addrs: List[int] = []
+            for arg in self.args:
+                line = getattr(arg, "line_addr", None)
+                if isinstance(line, int):
+                    addrs.append(line)
+                    continue
+                addr = getattr(arg, "addr", None)
+                if isinstance(addr, int):
+                    addrs.append(addr)
+            label = getattr(self.callback, "__qualname__", "")
+            self._footprint = (node, tuple(addrs), label)
+        return self._footprint
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (

@@ -51,6 +51,10 @@ class Simulator:
         self._host_seconds = 0.0
         self.tie_breaker: Optional[Callable[[Sequence[Event]], int]] = None
         self.on_step: Optional[Callable[[], None]] = None
+        #: the event currently (or most recently) being fired — lets the
+        #: checker's ``on_step`` hook inspect what just executed (e.g. to
+        #: wake sleep-set entries that conflict with it).
+        self.last_event: Optional[Event] = None
         self.diagnostic_providers: List[Callable[[], str]] = []
 
     # ------------------------------------------------------------------
@@ -149,6 +153,7 @@ class Simulator:
                     break
                 self.now = event.time
                 self._events_fired += 1
+                self.last_event = event
                 event.callback(*event.args)
                 if self.on_step is not None:
                     self.on_step()
@@ -169,6 +174,7 @@ class Simulator:
             return False
         self.now = event.time
         self._events_fired += 1
+        self.last_event = event
         event.callback(*event.args)
         if self.on_step is not None:
             self.on_step()

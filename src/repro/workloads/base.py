@@ -145,3 +145,18 @@ class Workload:
 
     def verify(self, system: System) -> None:
         """Post-run invariant checks (override where meaningful)."""
+
+    def handoff_lines(self, system: System) -> List[int]:
+        """Lines whose ownership hand-off the checker should audit.
+
+        Defaults to the workload's contended line when it declares one
+        (``lock_line``); scenarios with different hand-off semantics
+        override this.
+        """
+        lock_line = getattr(self, "lock_line", None)
+        return [lock_line(system)] if callable(lock_line) else []
+
+    def extra_oracles(self, system: System) -> List[object]:
+        """Scenario-specific oracles to register alongside the standard
+        SWMR / data-value / hand-off / progress checks (checker only)."""
+        return []

@@ -3,8 +3,22 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro import System, SystemConfig
+
+#: shared Hypothesis profile for the suite's property tests: few, slow
+#: examples (each drives a whole simulated system), no deadline.
+prop_settings = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        # the interconnect fixture is a constant string per test id
+        HealthCheck.function_scoped_fixture,
+    ],
+)
 
 
 def small_config(n_processors: int = 2, policy: str = "baseline", **overrides):

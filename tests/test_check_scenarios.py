@@ -1,0 +1,122 @@
+"""The widened scenario library: barrier and MCS hand-off cells.
+
+Each scenario must (a) explore violation-free at a smoke budget on both
+fabrics, (b) catch its seeded mutation — a checker whose oracle never
+fires is indistinguishable from one that cannot — and (c) replay any
+counterexample bit-identically from the saved schedule.
+"""
+
+import pytest
+
+from repro.check.explore import Budget, RunSpec, explore
+from repro.check.report import from_explore_violation, replay
+from repro.check.scenarios import (
+    MUTATIONS,
+    SCENARIOS,
+    build_scenario,
+    install_mutation,
+    mutation_names,
+    scenario_names,
+)
+from repro.cli import main
+
+SMOKE = Budget(max_schedules=30, max_steps=80_000, max_depth=30)
+
+#: per-scenario seeded bug and the budget that exposes it.  The barrier
+#: mutations need >= 2 rounds: with a single round every thread reports
+#: arrival at program start, before any barrier latency separates the
+#: early releaser from the laggard it failed to wait for.
+MUTATION_CASES = {
+    "barrier_skip_sense_flip": ("barrier", 2, "progress"),
+    "barrier_early_release": ("barrier", 2, "barrier-phase"),
+    "mcs_drop_handoff": ("mcs", 2, "progress"),
+}
+
+
+def _spec(scenario, interconnect, mutation=None, acquires=1):
+    kwargs = {}
+    if mutation is not None:
+        # Seeded-bug cells disable the hand-off timeout and tighten the
+        # runaway guard so starvation surfaces quickly as a progress
+        # violation rather than a timeout-recovered stall.
+        kwargs = dict(timeout_cycles=10_000_000, max_cycles=200_000)
+    return RunSpec(
+        scenario=scenario,
+        primitive="iqolb",
+        interconnect=interconnect,
+        n_processors=2,
+        acquires_per_proc=acquires,
+        mutation=mutation,
+        **kwargs,
+    )
+
+
+class TestScenariosClean:
+    @pytest.mark.parametrize("scenario", ["barrier", "mcs"])
+    def test_violation_free_at_smoke_budget(self, scenario, interconnect):
+        report = explore(_spec(scenario, interconnect), SMOKE)
+        assert report.schedules_run > 1
+        assert not report.violations, report.violations
+        assert report.statuses.get("finished", 0) == report.schedules_run
+
+    @pytest.mark.parametrize("scenario", ["barrier", "mcs"])
+    def test_scenario_specific_oracle_attached(self, scenario):
+        built = build_scenario(scenario, "iqolb", "bus", 2, 1, 400, 2_000_000)
+        extras = built.workload.extra_oracles(built.system)
+        assert extras and extras[0] is built.monitor
+
+
+class TestSeededMutations:
+    @pytest.mark.parametrize("mutation", sorted(MUTATION_CASES))
+    def test_mutation_caught_and_replays(self, mutation):
+        scenario, acquires, oracle = MUTATION_CASES[mutation]
+        spec = _spec(scenario, "bus", mutation=mutation, acquires=acquires)
+        budget = Budget(max_schedules=20, max_steps=150_000, max_depth=30)
+        report = explore(spec, budget)
+        assert report.violations, f"{mutation} was not caught"
+        record = report.violations[0]
+        assert record["violation"]["oracle"] == oracle, record
+
+        # Bit-identical replay: same schedule -> same oracle, message,
+        # and violation time.
+        counterexample = from_explore_violation(spec, record)
+        outcome = replay(counterexample)
+        assert outcome.violation is not None, "replay lost the violation"
+        assert outcome.violation["oracle"] == record["violation"]["oracle"]
+        assert outcome.violation["message"] == record["violation"]["message"]
+        assert outcome.violation["time"] == record["violation"]["time"]
+        assert outcome.cycles == record["cycles"]
+
+
+class TestRegistries:
+    def test_scenario_names_cover_registry(self):
+        assert scenario_names() == sorted(SCENARIOS)
+        assert {"lock", "counter", "barrier", "mcs"} <= set(scenario_names())
+
+    def test_mutation_names_cover_registry(self):
+        assert mutation_names() == sorted(MUTATIONS)
+
+    def test_unknown_scenario_error_lists_known(self):
+        with pytest.raises(ValueError, match="unknown scenario") as excinfo:
+            build_scenario("nope", "iqolb", "bus", 2, 1, 400, 2_000_000)
+        for name in scenario_names():
+            assert name in str(excinfo.value)
+
+    def test_unknown_mutation_error_lists_known(self):
+        built = build_scenario("lock", "iqolb", "bus", 2, 1, 400, 2_000_000)
+        with pytest.raises(ValueError, match="unknown mutation"):
+            install_mutation("nope", built.system, built.workload)
+
+    def test_mutation_requires_matching_scenario(self):
+        built = build_scenario("lock", "iqolb", "bus", 2, 1, 400, 2_000_000)
+        with pytest.raises(ValueError, match="requires"):
+            install_mutation(
+                "mcs_drop_handoff", built.system, built.workload
+            )
+
+    def test_cli_rejects_unknown_scenario(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "--scenario", "definitely-not-a-scenario"])
+        assert excinfo.value.code != 0
+        err = capsys.readouterr().err
+        assert "invalid choice" in err

@@ -6,23 +6,12 @@ the original requests occurred" — plus liveness under random timing and
 under cache pressure (eviction hand-offs).
 """
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, strategies as st
 
-from conftest import small_config
+from conftest import prop_settings, small_config
 from repro import System
 from repro.cpu.ops import LL, SC, Compute, Read, Write
 from repro.sync import TTSLock
-
-prop_settings = settings(
-    max_examples=10,
-    deadline=None,
-    suppress_health_check=[
-        HealthCheck.too_slow,
-        HealthCheck.data_too_large,
-        # the interconnect fixture is a constant string per test id
-        HealthCheck.function_scoped_fixture,
-    ],
-)
 
 
 class TestQueueOrdering:
