@@ -36,14 +36,14 @@ factory = functools.partial(
 )
 
 
-def measure(sizes, n_jobs=1, cache=None):
+def measure(sizes, n_jobs=1, cache=None, engine="fast"):
     """Per-hand-off cost grids: the taxonomy on the directory, and
     IQOLB on both fabrics."""
     dir_grid = sweep(
         factory,
         DIR_PRIMS,
         sizes,
-        config_overrides={"interconnect": "directory"},
+        config_overrides={"interconnect": "directory", "engine": engine},
         n_jobs=n_jobs,
         cache=cache,
     )
@@ -51,7 +51,7 @@ def measure(sizes, n_jobs=1, cache=None):
         factory,
         ["iqolb"],
         sizes,
-        config_overrides={"interconnect": "bus"},
+        config_overrides={"interconnect": "bus", "engine": engine},
         n_jobs=n_jobs,
         cache=cache,
     )
@@ -76,20 +76,23 @@ def measure(sizes, n_jobs=1, cache=None):
     return results, export
 
 
-def test_directory_scaling(benchmark, smoke, jobs, result_cache):
+def test_directory_scaling(benchmark, smoke, jobs, result_cache, engine):
     sizes = SMOKE_SIZES if smoke else SIZES
     results, export = once(
-        benchmark, measure, sizes, n_jobs=jobs, cache=result_cache
+        benchmark, measure, sizes, n_jobs=jobs, cache=result_cache, engine=engine
     )
     # The full grid is ~700KB of per-node counters at paper scale: too
     # big to commit raw, so publish the compact digest + gzipped full.
-    publish_metrics("directory_scaling", export, archive=True)
+    # A non-default engine gets its own artefact name so the CI
+    # perf-smoke lane can diff the fast and reference summaries.
+    name = "directory_scaling" if engine == "fast" else f"directory_scaling_{engine}"
+    publish_metrics(name, export, archive=True)
     rows = [
         [name] + [f"{c:.0f}" for c in cycles]
         for name, cycles in results.items()
     ]
     publish(
-        "directory_scaling",
+        name,
         render_table(
             ["fabric/primitive"] + [f"{s}p" for s in sizes],
             rows,

@@ -16,6 +16,11 @@ Harness options (also used by the CI smoke step):
     Worker processes for sweep cells (default 1, serial).
 ``--no-cache``
     Ignore the on-disk result cache and re-simulate every cell.
+``--engine {fast,reference}``
+    Simulation kernel for every cell (default ``fast``).  The CI
+    perf-smoke lane runs the same bench under both engines and asserts
+    the artefacts agree (the engines are bit-identical by contract;
+    see DESIGN.md "Two-engine architecture").
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ import pathlib
 
 import pytest
 
+from repro.engine.simulator import ENGINES
 from repro.harness.cache import ResultCache
 from repro.telemetry import (
     ChromeTraceSink,
@@ -63,6 +69,12 @@ def pytest_addoption(parser):
         action="store_true",
         default=False,
         help="bypass the on-disk result cache",
+    )
+    group.addoption(
+        "--engine",
+        choices=list(ENGINES),
+        default="fast",
+        help="simulation kernel for every cell (default: fast)",
     )
 
 
@@ -122,6 +134,11 @@ def smoke(request) -> bool:
 @pytest.fixture
 def jobs(request) -> int:
     return request.config.getoption("--jobs")
+
+
+@pytest.fixture
+def engine(request) -> str:
+    return request.config.getoption("--engine")
 
 
 @pytest.fixture

@@ -97,6 +97,10 @@ class RunSpec:
     acquires_per_proc: int = 2
     timeout_cycles: Optional[int] = 400
     max_cycles: int = 2_000_000
+    #: simulation kernel ("fast" or "reference"); the explorer drives
+    #: the queue through the same candidates/extract contract on both,
+    #: so fingerprints are engine-independent (tests assert this).
+    engine: str = "fast"
     mutation: Optional[str] = None
     fault_plan: Optional[FaultPlan] = None
 
@@ -316,6 +320,7 @@ def run_once(
         spec.acquires_per_proc,
         spec.timeout_cycles,
         spec.max_cycles,
+        engine=spec.engine,
     )
     system = built.system
     install_mutation(spec.mutation, system, built.workload)

@@ -361,6 +361,7 @@ def make_config(
     n_processors: int,
     timeout_cycles: Optional[int],
     max_cycles: int,
+    engine: str = "fast",
 ) -> SystemConfig:
     policy, _lock_kind = PRIMITIVES[primitive]
     return SystemConfig(
@@ -369,6 +370,7 @@ def make_config(
         interconnect=interconnect,
         timeout_cycles=timeout_cycles,
         max_cycles=max_cycles,
+        engine=engine,
     )
 
 
@@ -421,6 +423,7 @@ def build_scenario(
     acquires_per_proc: int,
     timeout_cycles: Optional[int],
     max_cycles: int,
+    engine: str = "fast",
 ) -> BuiltScenario:
     """Construct system + workload for one checker cell (not yet run)."""
     try:
@@ -431,7 +434,7 @@ def build_scenario(
             f"known: {', '.join(scenario_names())}"
         ) from None
     config = make_config(
-        primitive, interconnect, n_processors, timeout_cycles, max_cycles
+        primitive, interconnect, n_processors, timeout_cycles, max_cycles, engine
     )
     workload = factory(primitive, acquires_per_proc)
     system = System(config)

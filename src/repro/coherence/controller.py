@@ -121,12 +121,30 @@ class CacheController(BusClient):
         #: optional trace hook: tracer(event, time, node, line_addr, info)
         self.tracer: Optional[Callable[..., None]] = None
         self._prefix = f"ctrl{node_id}"
+        #: metric name -> Counter, so hot-path _count calls skip the
+        #: f-string build and registry probe after the first occurrence
+        self._counters: Dict[str, Any] = {}
+        # cpu_request dispatch table, hoisted out of the per-op path
+        self._op_handlers = {
+            "read": self._do_read,
+            "write": self._do_write,
+            "ll": self._do_ll,
+            "sc": self._do_sc,
+            "swap": self._do_swap,
+            "enqolb": self._do_enqolb,
+            "deqolb": self._do_deqolb,
+        }
 
     # ------------------------------------------------------------------
     # Small helpers
     # ------------------------------------------------------------------
     def _count(self, metric: str, amount: int = 1) -> None:
-        self.stats.counter(f"{self._prefix}.{metric}").inc(amount)
+        counter = self._counters.get(metric)
+        if counter is None:
+            counter = self._counters[metric] = self.stats.counter(
+                f"{self._prefix}.{metric}"
+            )
+        counter.value += amount
 
     def _trace(self, event: str, line_addr: int, **info: Any) -> None:
         if self.tracer is not None:
@@ -195,15 +213,7 @@ class CacheController(BusClient):
     # ==================================================================
     def cpu_request(self, op: Op, done: Callable[[Any], None]) -> None:
         """Entry point for the processor's memory operations."""
-        handler = {
-            "read": self._do_read,
-            "write": self._do_write,
-            "ll": self._do_ll,
-            "sc": self._do_sc,
-            "swap": self._do_swap,
-            "enqolb": self._do_enqolb,
-            "deqolb": self._do_deqolb,
-        }.get(op.kind)
+        handler = self._op_handlers.get(op.kind)
         if handler is None:
             raise ValueError(f"unknown op kind {op.kind!r}")
         handler(op, done)
@@ -253,7 +263,12 @@ class CacheController(BusClient):
         self.link_tearoff = line.state is State.TEAROFF
         self._count("ll_ops")
         value = line.read_word(self.amap.word_index(op.addr))
-        self._trace("ll", line.addr, value=value, pc=op.pc, state=line.state.value)
+        if self.tracer is not None:
+            # guarded at the call site: this runs once per spin iteration,
+            # and building the payload would dominate the untraced path
+            self._trace(
+                "ll", line.addr, value=value, pc=op.pc, state=line.state.value
+            )
         done(value)
 
     # ------------------------------- stores ---------------------------
@@ -279,7 +294,8 @@ class CacheController(BusClient):
         """Apply a store to a writable line, then run release/loan hooks."""
         line.write_word(self.amap.word_index(op.addr), op.value)
         line.state = State.MODIFIED
-        self._trace("store", line.addr, value=op.value, pc=op.pc)
+        if self.tracer is not None:
+            self._trace("store", line.addr, value=op.value, pc=op.pc)
         if self.policy.on_store_complete(op.addr, op.pc):
             self._count("releases_detected")
             self._trace("release", line.addr)

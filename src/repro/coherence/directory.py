@@ -41,7 +41,7 @@ protocol would piggyback on those transfers.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Set
+from typing import Any, Callable, Deque, Dict, List, Optional, Set
 
 from repro.engine.simulator import Simulator
 from repro.engine.stats import StatsRegistry
@@ -115,6 +115,18 @@ class DirectoryInterconnect:
         self.observer: Optional[Callable[..., None]] = None
         self.tracer: Optional[Callable[..., None]] = None
         network.ownership_listener = self._note_ownership
+        # Counters on the per-request path, pre-resolved once; rare
+        # outcome counters (NACKs, breakdowns, ...) stay lazy so they
+        # only appear in snapshots when they actually fire.
+        self._c_requests = stats.counter("dir.requests")
+        self._c_lookups = stats.counter("dir.lookups")
+        self._c_transactions = stats.counter("dir.transactions")
+        self._c_forwards = stats.counter("dir.forwards")
+        self._h_resolve_wait = stats.histogram("dir.resolve_wait")
+        self._w_txn_rate = stats.windowed("dir.txn_rate")
+        #: per-op completion counters ("dir.gets", ...), keyed by BusOp,
+        #: filled on first use so only ops that complete are reported
+        self._c_by_op: Dict[BusOp, Any] = {}
 
     # ------------------------------------------------------------------
     # Wiring
@@ -145,7 +157,7 @@ class DirectoryInterconnect:
             txn.request_time = self.sim.now
             txn.txn_id = self._next_txn_id
             self._next_txn_id += 1
-        self.stats.counter("dir.requests").inc()
+        self._c_requests.value += 1
         home = self.home(txn.line_addr)
         self.network.route(
             txn.requester,
@@ -177,7 +189,7 @@ class DirectoryInterconnect:
         if txn.cancelled:
             self._drop_cancelled(txn)
             return
-        self.stats.counter("dir.lookups").inc()
+        self._c_lookups.value += 1
         self.sim.schedule(self.lookup_cycles, self._resolve, txn)
 
     def _resolve(self, txn: BusTransaction) -> None:
@@ -199,11 +211,10 @@ class DirectoryInterconnect:
         if txn.issue_time is None:
             txn.issue_time = self.sim.now
             if txn.request_time is not None:
-                self.stats.histogram("dir.resolve_wait").add(
-                    self.sim.now - txn.request_time
-                )
-        self._trace("dir_lookup", self.home(line_addr), line_addr,
-                    op=txn.op.value, requester=txn.requester)
+                self._h_resolve_wait.add(self.sim.now - txn.request_time)
+        if self.tracer is not None:
+            self._trace("dir_lookup", self.home(line_addr), line_addr,
+                        op=txn.op.value, requester=txn.requester)
         if txn.op is BusOp.WRITEBACK:
             self._resolve_writeback(txn, entry)
         elif txn.op is BusOp.GETS:
@@ -337,7 +348,7 @@ class DirectoryInterconnect:
         if txn.op in DATA_OPS and txn.op not in DEFERRABLE_OPS or role == "owner":
             entry = self._entry(txn.line_addr)
             entry.busy_txn = txn.txn_id
-        self.stats.counter("dir.forwards").inc()
+        self._c_forwards.value += 1
         self._trace("dir_forward", self.home(txn.line_addr), txn.line_addr,
                     target=target, role=role, op=txn.op.value)
         home = self.home(txn.line_addr)
@@ -558,9 +569,14 @@ class DirectoryInterconnect:
         shared: bool,
         deferred: bool,
     ) -> None:
-        self.stats.counter("dir.transactions").inc()
-        self.stats.counter(f"dir.{txn.op.value}").inc()
-        self.stats.windowed("dir.txn_rate").record(self.sim.now)
+        self._c_transactions.value += 1
+        op_counter = self._c_by_op.get(txn.op)
+        if op_counter is None:
+            op_counter = self._c_by_op[txn.op] = self.stats.counter(
+                f"dir.{txn.op.value}"
+            )
+        op_counter.value += 1
+        self._w_txn_rate.record(self.sim.now)
         client = self._clients.get(txn.requester)
         if client is not None:
             client.on_own_issue(txn, supplier, shared, deferred)

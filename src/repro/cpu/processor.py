@@ -40,6 +40,9 @@ class Processor:
         self.thread: Optional[SimThread] = None
         self.on_thread_done: Optional[Callable[[SimThread], None]] = None
         self._prefix = f"cpu{node_id}"
+        # _advance runs once per instruction; resolve its counters once
+        self._c_ops = stats.counter(f"{self._prefix}.ops")
+        self._c_mem_ops = stats.counter(f"{self._prefix}.mem_ops")
 
     def bind(self, thread: SimThread) -> None:
         """Attach the thread this processor will run."""
@@ -62,21 +65,21 @@ class Processor:
         op = thread.advance(result)
         if op is None:
             thread.finish_time = self.sim.now
-            self.stats.counter(f"{self._prefix}.ops").inc(thread.ops_executed)
+            self._c_ops.value += thread.ops_executed
             if self.on_thread_done is not None:
                 self.on_thread_done(thread)
             return
-        if isinstance(op, Compute):
-            self.sim.schedule(self.issue_overhead + op.cycles, self._advance, None)
+        if type(op) is Compute:
+            self.sim.schedule(self.issue_overhead + op.value, self._advance, None)
             return
-        if isinstance(op, Fence):
+        if type(op) is Fence:
             self.sim.schedule(self.issue_overhead, self._advance, None)
             return
         # Memory operation: hand to the cache controller; it calls
         # _memory_done(value) when the access completes.
         if self.controller is None:
             raise RuntimeError(f"processor {self.node_id} has no controller")
-        self.stats.counter(f"{self._prefix}.mem_ops").inc()
+        self._c_mem_ops.value += 1
         self.sim.schedule(
             self.issue_overhead, self.controller.cpu_request, op, self._memory_done
         )

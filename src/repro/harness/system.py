@@ -39,7 +39,7 @@ class System:
     ) -> None:
         self.config = config if config is not None else SystemConfig()
         cfg = self.config
-        self.sim = Simulator(max_cycles=cfg.max_cycles)
+        self.sim = Simulator(max_cycles=cfg.max_cycles, engine=cfg.engine)
         self.stats = StatsRegistry()
         self.amap = AddressMap(cfg.line_bytes)
         self.memory = MainMemory(
@@ -172,11 +172,38 @@ class System:
         ``dispatcher`` is a :class:`repro.telemetry.TraceDispatcher` (or
         anything exposing ``controller_hook``/``bus_hook``).  Returns the
         dispatcher for chaining.  Pass ``None`` to detach everything.
+
+        Dispatch is pre-resolved: while the dispatcher has no sinks the
+        emitters' hooks are ``None`` (so the per-event "anyone
+        listening?" check is just the emitters' existing ``is not None``
+        guard, with no call and no payload built).  Dispatchers that
+        announce sink changes via ``subscribe_rewire`` keep this wiring
+        current when sinks attach or detach mid-run.
         """
-        controller_hook = (
-            dispatcher.controller_hook if dispatcher is not None else None
-        )
-        bus_hook = dispatcher.bus_hook if dispatcher is not None else None
+        previous = getattr(self, "_telemetry", None)
+        if previous is not None:
+            unsubscribe = getattr(previous, "unsubscribe_rewire", None)
+            if unsubscribe is not None:
+                unsubscribe(self._rewire_telemetry)
+        self._telemetry = dispatcher
+        if dispatcher is not None:
+            subscribe = getattr(dispatcher, "subscribe_rewire", None)
+            if subscribe is not None:
+                subscribe(self._rewire_telemetry)
+        self._rewire_telemetry()
+        return dispatcher
+
+    def _rewire_telemetry(self) -> None:
+        """Point every emitter at the dispatcher, or at ``None`` if idle.
+
+        An idle dispatcher (no sinks) costs the hot paths nothing: the
+        emitters see ``tracer is None`` and skip building trace payloads
+        entirely.
+        """
+        dispatcher = getattr(self, "_telemetry", None)
+        active = dispatcher is not None and getattr(dispatcher, "active", True)
+        controller_hook = dispatcher.controller_hook if active else None
+        bus_hook = dispatcher.bus_hook if active else None
         for controller in self.controllers:
             controller.tracer = controller_hook
         self.bus.observer = bus_hook
@@ -184,7 +211,6 @@ class System:
             # The directory emits its own protocol events (lookups,
             # forwards, deferral at home) through the controller channel.
             self.bus.tracer = controller_hook
-        return dispatcher
 
     def _memory_receiver(self, msg: Any) -> None:  # pragma: no cover
         raise RuntimeError(f"unexpected crossbar delivery to memory: {msg}")

@@ -27,7 +27,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.engine.simulator import Simulator
-from repro.engine.stats import StatsRegistry
+from repro.engine.stats import Counter, StatsRegistry
 from repro.interconnect.crossbar import Crossbar
 from repro.interconnect.messages import (
     MEMORY_NODE,
@@ -84,6 +84,14 @@ class AddressBus:
         #: address phase of individual transactions by a bounded jitter.
         self.fault_hook = None
         self._next_resolve_time = 0
+        # Per-transaction counters, pre-resolved once; rare outcome
+        # counters (cancellations, stalls, conflicts) stay lazy.
+        self._c_requests = stats.counter("bus.requests")
+        self._c_transactions = stats.counter("bus.transactions")
+        self._h_arb_wait = stats.histogram("bus.arb_wait")
+        self._w_txn_rate = stats.windowed("bus.txn_rate")
+        #: per-op issue counters ("bus.gets", ...), filled on first use
+        self._c_by_op: Dict[BusOp, Counter] = {}
 
     def attach(self, node_id: int, client: "BusClient") -> None:
         self._clients[node_id] = client
@@ -99,7 +107,7 @@ class AddressBus:
             txn.txn_id = self._next_txn_id
             self._next_txn_id += 1
         self._queue.append(txn)
-        self.stats.counter("bus.requests").inc()
+        self._c_requests.value += 1
         self._pump()
 
     def transaction_complete(self, txn: BusTransaction) -> None:
@@ -131,12 +139,15 @@ class AddressBus:
         self._next_issue_time = self.sim.now + self.issue_interval
         txn.issue_time = self.sim.now
         if txn.request_time is not None:
-            self.stats.histogram("bus.arb_wait").add(
-                self.sim.now - txn.request_time
+            self._h_arb_wait.add(self.sim.now - txn.request_time)
+        self._c_transactions.value += 1
+        op_counter = self._c_by_op.get(txn.op)
+        if op_counter is None:
+            op_counter = self._c_by_op[txn.op] = self.stats.counter(
+                f"bus.{txn.op.value}"
             )
-        self.stats.counter("bus.transactions").inc()
-        self.stats.counter(f"bus.{txn.op.value}").inc()
-        self.stats.windowed("bus.txn_rate").record(self.sim.now)
+        op_counter.value += 1
+        self._w_txn_rate.record(self.sim.now)
         if txn.op in DATA_OPS:
             self._outstanding += 1
             # Block the line until the fill lands (or the response turns

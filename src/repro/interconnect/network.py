@@ -35,7 +35,7 @@ import math
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.engine.simulator import Simulator
-from repro.engine.stats import StatsRegistry
+from repro.engine.stats import Counter, StatsRegistry
 from repro.interconnect.messages import DataKind, DataMessage, GrantState
 
 #: virtual channel names
@@ -68,6 +68,13 @@ class MeshNetwork:
         #: called with (line_addr, node) when an ownership-carrying
         #: message is committed to a node (see ``send``)
         self.ownership_listener: Optional[Callable[[int, int], None]] = None
+        # Per-message counters, pre-resolved once (route() runs for every
+        # coherence request; send() for every data transfer)
+        self._c_messages = stats.counter("net.messages")
+        self._c_hops = stats.counter("net.hops")
+        self._h_latency = stats.histogram("net.latency")
+        #: per-kind send counters ("net.line", ...), filled on first use
+        self._c_by_kind: Dict[DataKind, Counter] = {}
         #: optional fault injector (repro.check.faults).  Entry delays are
         #: applied *before* a message books any link, so per-link FIFO and
         #: the occupancy books stay consistent; drops are vetoed per
@@ -129,9 +136,9 @@ class MeshNetwork:
             start = max(t, self._link_free.get((u, v, vc), 0))
             self._link_free[(u, v, vc)] = start + ser
             t = start + ser + self.hop_cycles
-        self.stats.counter("net.messages").inc()
-        self.stats.counter("net.hops").inc(len(path) - 1)
-        self.stats.histogram("net.latency").add(t - self.sim.now)
+        self._c_messages.value += 1
+        self._c_hops.value += len(path) - 1
+        self._h_latency.add(t - self.sim.now)
         self.sim.schedule_at(t, callback)
         return t
 
@@ -153,8 +160,14 @@ class MeshNetwork:
         src = origin if origin is not None else msg.src
         if src < 0:
             src = msg.dst  # memory with no stated origin: model as local
-        line = msg.kind in (DataKind.LINE, DataKind.PUSH)
-        self.stats.counter(f"net.{msg.kind.value}").inc()
+        kind = msg.kind
+        line = kind is DataKind.LINE or kind is DataKind.PUSH
+        kind_counter = self._c_by_kind.get(kind)
+        if kind_counter is None:
+            kind_counter = self._c_by_kind[kind] = self.stats.counter(
+                f"net.{kind.value}"
+            )
+        kind_counter.value += 1
 
         # Ownership bookkeeping for the directory (see module docstring).
         listener = self.ownership_listener

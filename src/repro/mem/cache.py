@@ -42,7 +42,9 @@ class CacheArray:
 
     def lookup(self, line_addr: int, touch: bool = True) -> Optional[CacheLine]:
         """Return the resident line for ``line_addr``, updating LRU state."""
-        line = self._sets[self._set_index(line_addr)].get(line_addr)
+        # _set_index inlined: this runs a few times per memory operation.
+        index = (line_addr // self.line_bytes) & (self.n_sets - 1)
+        line = self._sets[index].get(line_addr)
         if line is not None and touch:
             self._tick += 1
             line.last_used = self._tick

@@ -39,6 +39,11 @@ class NodeCacheHierarchy:
         self.l2_hit_cycles = l2_hit_cycles
         self._stats = stats
         self._prefix = f"cache{node_id}"
+        # Pre-resolved counters: lookup() runs once per memory operation,
+        # so the registry's name-keyed dict probe is hoisted out of it.
+        self._c_l1_hits = stats.counter(f"{self._prefix}.l1_hits")
+        self._c_l2_hits = stats.counter(f"{self._prefix}.l2_hits")
+        self._c_misses = stats.counter(f"{self._prefix}.misses")
 
     # ------------------------------------------------------------------
     # Lookup with timing
@@ -51,16 +56,16 @@ class NodeCacheHierarchy:
         costs the same probe path before the controller goes to the bus.
         """
         line = self.l1.lookup(line_addr)
-        if line is not None and line.valid:
-            self._stats.counter(f"{self._prefix}.l1_hits").inc()
+        if line is not None and line.state is not State.INVALID:
+            self._c_l1_hits.value += 1
             return line, self.l1_hit_cycles
         latency = self.l1_hit_cycles + self.l2_hit_cycles
         line = self.l2.lookup(line_addr)
-        if line is not None and line.valid:
-            self._stats.counter(f"{self._prefix}.l2_hits").inc()
+        if line is not None and line.state is not State.INVALID:
+            self._c_l2_hits.value += 1
             self._fill_l1(line)
             return line, latency
-        self._stats.counter(f"{self._prefix}.misses").inc()
+        self._c_misses.value += 1
         return None, latency
 
     def peek(self, line_addr: int) -> Optional[CacheLine]:

@@ -54,25 +54,37 @@ class CacheLine:
         self.last_used = 0
         self.pinned = False
 
+    # The permission predicates are identity chains rather than frozenset
+    # membership: hashing an enum per call shows up measurably when the
+    # simulator fires millions of events.  The *_STATES sets above remain
+    # the canonical definitions; test_mem_line pins these to them.
+
     @property
     def valid(self) -> bool:
         return self.state is not State.INVALID
 
     @property
     def writable(self) -> bool:
-        return self.state in WRITABLE_STATES
+        state = self.state
+        return state is State.EXCLUSIVE or state is State.MODIFIED
 
     @property
     def readable(self) -> bool:
-        return self.state in READABLE_STATES
+        return self.state is not State.INVALID
 
     @property
     def is_owner(self) -> bool:
-        return self.state in OWNER_STATES
+        state = self.state
+        return (
+            state is State.EXCLUSIVE
+            or state is State.MODIFIED
+            or state is State.OWNED
+        )
 
     @property
     def dirty(self) -> bool:
-        return self.state in DIRTY_STATES
+        state = self.state
+        return state is State.MODIFIED or state is State.OWNED
 
     def read_word(self, index: int) -> int:
         return self.data[index]

@@ -9,7 +9,7 @@ out to every attached sink in attach order.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List
 
 from repro.telemetry.events import TelemetryEvent
 from repro.telemetry.sinks import TraceSink
@@ -21,21 +21,52 @@ class TraceDispatcher:
     Components hold a reference to the dispatcher's bound hook methods,
     not to the sinks, so the sink set can change mid-run (e.g. a test
     swapping a ring buffer in) without re-wiring the system.
+
+    With *no* sinks attached the dispatcher is a pre-resolved no-op:
+    hosts that register a rewire callback (``subscribe_rewire``) are told
+    whenever the sink set transitions between empty and non-empty, and
+    respond by pointing emitter hooks at ``None`` — so an idle dispatcher
+    costs the simulation hot paths nothing at all, not even the
+    "any sinks?" check.  The checks in the hook methods below remain as
+    a safety net for hosts that wire hooks unconditionally.
     """
 
     def __init__(self) -> None:
         self._sinks: List[TraceSink] = []
         self.events_dispatched = 0
+        self._rewire_callbacks: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     # Sink management
     # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True when at least one sink would receive dispatched events."""
+        return bool(self._sinks)
+
+    def subscribe_rewire(self, callback: Callable[[], None]) -> None:
+        """Register to be called when :attr:`active` may have changed."""
+        if callback not in self._rewire_callbacks:
+            self._rewire_callbacks.append(callback)
+
+    def unsubscribe_rewire(self, callback: Callable[[], None]) -> None:
+        if callback in self._rewire_callbacks:
+            self._rewire_callbacks.remove(callback)
+
+    def _notify_rewire(self) -> None:
+        for callback in list(self._rewire_callbacks):
+            callback()
+
     def attach(self, sink: TraceSink) -> TraceSink:
         self._sinks.append(sink)
+        if len(self._sinks) == 1:
+            self._notify_rewire()
         return sink
 
     def detach(self, sink: TraceSink) -> None:
         self._sinks.remove(sink)
+        if not self._sinks:
+            self._notify_rewire()
 
     @property
     def sinks(self) -> List[TraceSink]:

@@ -66,3 +66,16 @@ class TestData:
 
     def test_pinned_defaults_false(self):
         assert make(State.MODIFIED).pinned is False
+
+
+class TestPredicateSetAgreement:
+    """The fast identity-chain predicates must match the canonical sets."""
+
+    def test_predicates_match_canonical_sets(self):
+        for state in State:
+            line = make(state)
+            assert line.valid is (state is not State.INVALID)
+            assert line.writable is (state in WRITABLE_STATES)
+            assert line.readable is (state in READABLE_STATES)
+            assert line.is_owner is (state in OWNER_STATES)
+            assert line.dirty is (state in DIRTY_STATES)

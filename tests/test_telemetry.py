@@ -318,6 +318,11 @@ class TestMetricsExport:
         cell = summary["cells"][0]
         assert cell["n_counters"] == len(full["cells"][0]["counters"])
         assert cell["n_histograms"] == len(full["cells"][0]["histograms"])
+        # Throughput provenance survives the digest: the perf-smoke CI
+        # gate compares events/host-second straight from the summary.
+        manifest = full["cells"][0]["manifest"]
+        assert cell["events_fired"] == manifest["events_fired"]
+        assert cell["events_per_host_s"] == manifest["events_per_host_s"]
 
 
 class TestSchemaValidator:
@@ -391,8 +396,25 @@ class TestOverhead:
     def test_attach_then_detach(self):
         system = System(SystemConfig(n_processors=2))
         dispatcher = TraceDispatcher()
+        dispatcher.attach(RingBufferSink())
         system.attach_telemetry(dispatcher)
         assert system.bus.observer is not None
         system.attach_telemetry(None)
+        assert system.bus.observer is None
+        assert all(c.tracer is None for c in system.controllers)
+
+    def test_sinkless_dispatcher_is_preresolved_noop(self):
+        # With no sinks attached the emitters' hooks stay None — dispatch
+        # is pre-resolved away, not checked per event — and snap live the
+        # moment a sink attaches (and back when it detaches).
+        system = System(SystemConfig(n_processors=2))
+        dispatcher = TraceDispatcher()
+        system.attach_telemetry(dispatcher)
+        assert system.bus.observer is None
+        assert all(c.tracer is None for c in system.controllers)
+        sink = dispatcher.attach(RingBufferSink())
+        assert system.bus.observer is not None
+        assert all(c.tracer is not None for c in system.controllers)
+        dispatcher.detach(sink)
         assert system.bus.observer is None
         assert all(c.tracer is None for c in system.controllers)
