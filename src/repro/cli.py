@@ -49,6 +49,7 @@ from repro.telemetry import (
     JsonlSink,
     SchemaError,
     TraceDispatcher,
+    infer_schema_path,
     validate_file,
     write_metrics,
 )
@@ -108,6 +109,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.harness.experiment import app_signature
     from repro.harness.report import render_report
 
     result = run_app(
@@ -117,6 +119,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config_overrides={"interconnect": args.interconnect},
     )
     print(render_report(result))
+    signature = app_signature(
+        args.app,
+        args.primitive,
+        args.processors,
+        config_overrides={"interconnect": args.interconnect},
+    )
+    if signature is not None:
+        # the same description `repro predict` models — see docs/prediction.md
+        print(
+            f"signature: {signature.kind} {signature.workload} on "
+            f"{signature.fabric}, {signature.n_processors}p, "
+            f"{signature.total_ops} ops over {signature.n_locks} lock(s), "
+            f"cs={signature.cs_accesses}+{signature.cs_compute}c, "
+            f"local={signature.local_compute}c"
+        )
     if args.metrics_out:
         write_metrics(args.metrics_out, [result])
         print(f"metrics written to {args.metrics_out}", file=sys.stderr)
@@ -204,12 +221,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     try:
-        records = validate_file(args.file, args.schema)
+        schema = args.schema
+        if schema is None:
+            # self-identifying artifacts name their schema in the
+            # document; resolve it through the registry
+            schema = infer_schema_path(args.file)
+        records = validate_file(args.file, schema)
     except (OSError, ValueError, SchemaError) as exc:
         # unreadable file, malformed JSON, or schema mismatch
         print(f"FAIL {args.file}: {exc}", file=sys.stderr)
         return 1
-    print(f"OK {args.file}: {records} record(s) match {args.schema}")
+    print(f"OK {args.file}: {records} record(s) match {schema}")
     return 0
 
 
@@ -371,6 +393,230 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+#: the 5-rung primitive ladder the predict tables default to
+PREDICT_LADDER = ("tts", "aggressive", "delayed", "iqolb", "qolb")
+
+
+def _parse_grid(spec: str) -> List[int]:
+    """``procs=1..128`` -> doubling processor counts [1, 2, ..., 128]."""
+    try:
+        axis, _, span = spec.partition("=")
+        lo_text, _, hi_text = span.partition("..")
+        lo, hi = int(lo_text), int(hi_text)
+    except ValueError:
+        raise SystemExit(f"bad --grid {spec!r}: expected procs=LO..HI")
+    if axis != "procs" or lo < 1 or hi < lo:
+        raise SystemExit(f"bad --grid {spec!r}: expected procs=LO..HI")
+    values = []
+    n = lo
+    while n < hi:
+        values.append(n)
+        n *= 2
+    values.append(hi)
+    return values
+
+
+def _predict_params(args: argparse.Namespace):
+    """Load (or fit) calibration; never touches the simulator."""
+    import pathlib
+
+    from repro.predict import (
+        default_params,
+        fit_from_artifacts,
+        load_calibration,
+    )
+
+    path = pathlib.Path(args.calibration)
+    if path.exists():
+        return load_calibration(path)
+    try:
+        params = fit_from_artifacts(pathlib.Path("."))
+        print(
+            f"note: {path} not found; calibrated from committed artifacts",
+            file=sys.stderr,
+        )
+        return params
+    except FileNotFoundError:
+        print(
+            f"note: {path} and benchmark artifacts not found; "
+            f"using derived (uncalibrated) parameters",
+            file=sys.stderr,
+        )
+        return default_params()
+
+
+def _predict_signature(
+    args: argparse.Namespace, primitive: str, fabric: str, procs: int
+):
+    from repro.harness.experiment import app_signature
+    from repro.harness.signature import WorkloadSignature
+
+    if args.app:
+        return app_signature(
+            args.app,
+            primitive,
+            procs,
+            config_overrides={"interconnect": fabric},
+        )
+    return WorkloadSignature.micro_lock(
+        primitive,
+        fabric=fabric,
+        n_processors=procs,
+        acquires_per_proc=args.acquires,
+        think_cycles=args.think,
+    )
+
+
+def _cmd_predict_validate(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.predict import check_gates, validate_artifacts, write_report
+
+    try:
+        report = validate_artifacts(pathlib.Path("."))
+    except FileNotFoundError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        write_report(report, pathlib.Path(args.out))
+        print(f"report written to {args.out}", file=sys.stderr)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(report.payload(), indent=2, sort_keys=True))
+    else:
+        rows = [
+            [
+                cell.artifact,
+                "/".join(str(part) for part in cell.key),
+                f"{cell.observed_cycles:,.0f}",
+                f"{cell.predicted_cycles:,.0f}",
+                f"{cell.rel_error:+.1%}",
+                cell.regime,
+            ]
+            for cell in sorted(
+                report.cells, key=lambda c: -abs(c.rel_error)
+            )
+        ]
+        print(
+            render_table(
+                ["artifact", "cell", "simulated", "predicted", "error",
+                 "regime"],
+                rows,
+                title="Prediction vs. cached simulation",
+            )
+        )
+        print()
+        print(
+            f"mean |rel error| {report.mean_abs_rel_error:.1%} over "
+            f"{len(report.cells)} cells (max {report.max_abs_rel_error:.1%}); "
+            f"taxonomy ordering preserved on "
+            f"{report.ordering_agreement:.0%} of "
+            f"{len(report.ordering)} groups"
+        )
+    problems = check_gates(
+        report,
+        max_mean_error=args.max_mean_error,
+        min_agreement=args.min_ordering,
+    )
+    for problem in problems:
+        print(f"GATE FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    if args.calibrate:
+        from repro.predict import fit_from_artifacts, save_calibration
+
+        try:
+            params = fit_from_artifacts(pathlib.Path("."))
+        except FileNotFoundError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        out = pathlib.Path(args.out or args.calibration)
+        save_calibration(params, out)
+        print(
+            f"calibration fitted from {', '.join(params.fitted_from)} "
+            f"-> {out}"
+        )
+        return 0
+
+    if args.validate:
+        return _cmd_predict_validate(args)
+
+    from repro.predict import predict
+
+    params = _predict_params(args)
+    primitives = args.primitive or list(PREDICT_LADDER)
+    fabrics = args.fabric or ["bus", "directory"]
+    procs_list = _parse_grid(args.grid) if args.grid else [args.processors]
+
+    predictions = [
+        predict(_predict_signature(args, primitive, fabric, procs), params)
+        for fabric in fabrics
+        for primitive in primitives
+        for procs in procs_list
+    ]
+    if args.format == "json":
+        print(
+            json.dumps(
+                [p.to_dict() for p in predictions], indent=2, sort_keys=True
+            )
+        )
+        return 0
+
+    workload = predictions[0].signature.workload
+    if args.grid:
+        by_row = {}
+        for p in predictions:
+            row = (p.signature.fabric, p.signature.primitive)
+            by_row.setdefault(row, {})[p.signature.n_processors] = p
+        rows = [
+            [f"{fabric}/{primitive}"]
+            + [f"{by_row[(fabric, primitive)][n].throughput:.2f}"
+               for n in procs_list]
+            for fabric in fabrics
+            for primitive in primitives
+        ]
+        print(
+            render_table(
+                ["fabric/primitive"] + [str(n) for n in procs_list],
+                rows,
+                title=(
+                    f"Predicted throughput (ops/kcycle), {workload} — "
+                    f"analytical model, no simulation"
+                ),
+            )
+        )
+    else:
+        rows = [
+            [
+                f"{p.signature.fabric}/{p.signature.primitive}",
+                f"{p.throughput:.2f}",
+                f"{p.per_op_cycles:,.0f}",
+                f"{p.handoff_cycles:,.0f}",
+                f"{p.effective_waiters:.1f}",
+                p.regime,
+            ]
+            for p in predictions
+        ]
+        print(
+            render_table(
+                ["fabric/primitive", "ops/kcycle", "cycles/op",
+                 "hand-off", "waiters", "regime"],
+                rows,
+                title=(
+                    f"Predicted throughput, {workload}, "
+                    f"{args.processors} processors"
+                ),
+            )
+        )
+    return 0
+
+
 def _cmd_policies(args: argparse.Namespace) -> int:
     print("protocol policies:", ", ".join(policy_names()))
     print("primitives:", ", ".join(sorted(PRIMITIVES)))
@@ -449,8 +695,53 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="validate a telemetry artifact against a JSON schema"
     )
     pv.add_argument("file", help=".json or .jsonl artifact to check")
-    pv.add_argument("--schema", required=True, metavar="PATH",
-                    help="JSON-Schema file (see tests/schemas/)")
+    pv.add_argument("--schema", metavar="PATH",
+                    help="JSON-Schema file (see tests/schemas/); omit for "
+                         "self-identifying artifacts with a registered "
+                         "top-level \"schema\" field")
+
+    pp = sub.add_parser(
+        "predict",
+        help="analytical throughput prediction — no simulation",
+    )
+    pp.add_argument("--primitive", nargs="+", metavar="PRIM",
+                    choices=sorted(PRIMITIVES),
+                    help="primitives to model (default: the 5-rung ladder "
+                         f"{' '.join(PREDICT_LADDER)})")
+    pp.add_argument("--fabric", nargs="+", metavar="FABRIC",
+                    choices=interconnect_names(),
+                    help="coherence fabrics (default: bus and directory)")
+    pp.add_argument("-p", "--processors", type=int, default=16)
+    pp.add_argument("--grid", metavar="procs=LO..HI",
+                    help="sweep machine size in doubling steps, e.g. "
+                         "procs=1..128")
+    pp.add_argument("--app", choices=APP_ORDER,
+                    help="model a synthetic SPLASH-2 app instead of the "
+                         "null-critical-section microbenchmark")
+    pp.add_argument("--acquires", type=int, default=20,
+                    help="microbenchmark acquires per processor (default 20)")
+    pp.add_argument("--think", type=int, default=100,
+                    help="microbenchmark local compute between acquires "
+                         "(default 100 cycles)")
+    pp.add_argument("--calibration", metavar="PATH",
+                    default="results/PREDICT_calibration.json",
+                    help="fitted parameters to load (default: "
+                         "results/PREDICT_calibration.json)")
+    pp.add_argument("--calibrate", action="store_true",
+                    help="refit parameters from the committed benchmark "
+                         "artifacts and write them to --out")
+    pp.add_argument("--validate", action="store_true",
+                    help="replay every committed benchmark cell through the "
+                         "model and report prediction error")
+    pp.add_argument("--out", metavar="PATH",
+                    help="with --validate/--calibrate: artifact to write")
+    pp.add_argument("--max-mean-error", type=float, default=0.25,
+                    help="with --validate: gate on mean |relative error| "
+                         "(default 0.25)")
+    pp.add_argument("--min-ordering", type=float, default=0.90,
+                    help="with --validate: gate on taxonomy-ordering "
+                         "agreement (default 0.90)")
+    pp.add_argument("--format", default="table", choices=("table", "json"))
 
     pq = sub.add_parser("fairness", help="measure lock fairness")
     pq.add_argument("--primitive", nargs="+", default=["tts", "iqolb", "qolb"],
@@ -536,6 +827,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "stats": _cmd_stats,
         "validate": _cmd_validate,
+        "predict": _cmd_predict,
         "fairness": _cmd_fairness,
         "check": _cmd_check,
         "policies": _cmd_policies,

@@ -342,14 +342,14 @@ class CalendarEventQueue:
         self._live = live
         if live > self.high_water:
             self.high_water = live
+        if priority:
+            self._any_priority = True
         bucket = self._buckets.get(time)
         if bucket is None:
             self._buckets[time] = [event]
             heapq.heappush(self._times, time)
         else:
             bucket.append(event)
-            if priority:
-                self._any_priority = True
             if (
                 self._any_priority
                 and bucket is self._head_bucket

@@ -144,6 +144,28 @@ def run_app(
     )
 
 
+def app_signature(
+    app_name: str,
+    primitive: str,
+    n_processors: int,
+    model_overrides: Optional[dict] = None,
+    config_overrides: Optional[dict] = None,
+):
+    """The :class:`~repro.harness.signature.WorkloadSignature` that
+    :func:`run_app` with the same arguments would simulate — the shared
+    description ``repro run`` reports and ``repro predict`` models."""
+    from repro.harness.signature import WorkloadSignature
+
+    policy, lock_kind = PRIMITIVES[primitive]
+    app = make_app(
+        app_name, lock_kind=lock_kind, model_overrides=model_overrides
+    )
+    config = SystemConfig(n_processors=n_processors, policy=policy)
+    if config_overrides:
+        config = config.with_(**config_overrides)
+    return WorkloadSignature.from_workload(app, config, primitive)
+
+
 @dataclasses.dataclass
 class Table3Row:
     """One benchmark's row of the paper's Table 3."""

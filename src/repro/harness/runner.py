@@ -107,6 +107,18 @@ class CellSpec:
             "verify": self.verify,
         }
 
+    def signature(self) -> Optional["WorkloadSignature"]:
+        """The cell's model-facing :class:`WorkloadSignature`.
+
+        ``None`` for workload shapes the prediction layer has no closed
+        form for (trace scenarios, litmus programs).
+        """
+        from repro.harness.signature import WorkloadSignature
+
+        return WorkloadSignature.from_workload(
+            self.workload.make(), self.config, self.primitive
+        )
+
 
 @dataclasses.dataclass
 class RunnerStats:

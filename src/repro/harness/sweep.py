@@ -38,6 +38,11 @@ class SweepResult:
     grid: Dict[Tuple[Any, Any], RunResult]
     #: Execution accounting for the batch (simulated vs. cache hits).
     runner_stats: Optional[RunnerStats] = None
+    #: Model-facing signature per cell key (``None`` where the shape has
+    #: no closed form) — the bridge to :mod:`repro.predict`.
+    signatures: Dict[Tuple[Any, Any], Any] = dataclasses.field(
+        default_factory=dict
+    )
 
     def cell(self, row: Any, col: Any) -> RunResult:
         try:
@@ -112,6 +117,7 @@ def sweep(
         cols=list(processor_counts),
         grid=grid,
         runner_stats=stats,
+        signatures={spec.key: spec.signature() for spec in specs},
     )
 
 
@@ -149,4 +155,5 @@ def sweep_config(
         cols=list(axis_values),
         grid=grid,
         runner_stats=stats,
+        signatures={spec.key: spec.signature() for spec in specs},
     )

@@ -1,0 +1,364 @@
+"""Fit the prediction model's parameters from cached sweep artifacts.
+
+Nothing in :mod:`repro.predict.model` is hard-coded to the simulator's
+latency tables: the contended cost curves, the bus saturation knee
+coefficient, and the application-model globals are all *fitted* here
+from the committed benchmark artifacts (the same files CI's perf gate
+watches).  The procedure, in dependency order:
+
+1. **Cost curves** — every saturated microbenchmark cell (null-CS lock
+   or contended-counter RMW) pins the contended per-operation cost at
+   ``w = n - 1`` competitors.  Per ``(fabric, primitive, kind)`` group
+   we fit ``C(w) = c0 + a*(w-1)**p`` by grid search over ``(c0, p)``
+   with the growth coefficient ``a`` solved in closed form (ordinary
+   least squares), minimizing squared *relative* error.  Groups with a
+   single observation inherit their class's exponent prior and the
+   fabric's derived base cost.  Bus cells beyond the saturation knee
+   (``SystemConfig.bus_max_outstanding``) are excluded from the curve
+   fit and instead determine the saturation coefficient.
+2. **Uniprocessor globals** — the five Table 3 ``uni`` cells give a
+   linear system for ``gamma`` (mean correction of the integer compute
+   distribution) and ``uni_overhead`` (per-item bookkeeping cost).
+3. **Application globals** — ``straggle`` and ``barrier_per_proc`` are
+   chosen by grid search minimizing mean squared relative error over
+   the 32-processor application cells, with the curves from step 1
+   held fixed.
+
+The result serializes to ``results/PREDICT_calibration.json`` so the
+CLI and CI validate against a committed, reviewable parameter set.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.harness.config import SystemConfig
+from repro.harness.signature import KIND_APP, KIND_RMW
+from repro.predict.benches import ObservedCell, load_observed_cells
+from repro.predict.model import (
+    CLASS_EXPONENT,
+    CalibrationParams,
+    CostCurve,
+    Saturation,
+    _derived_transfer,
+    predict,
+    primitive_class,
+)
+
+__all__ = ["fit", "fit_from_artifacts", "load_calibration", "save_calibration"]
+
+CALIBRATION_PATH = "results/PREDICT_calibration.json"
+
+
+def _fit_curve(
+    points: Sequence[Tuple[float, float]],
+    prior_p: float,
+    default_c0: float,
+) -> CostCurve:
+    """Fit ``C(w) = c0 + a*(w-1)**p`` to ``(w, cost)`` observations."""
+    points = sorted(points)
+    y_min = min(y for _, y in points)
+    distinct_w = len({w for w, _ in points})
+    if distinct_w == 1:
+        w, y = points[0]
+        # Average duplicate observations at the same contention level.
+        y = sum(v for _, v in points) / len(points)
+        c0 = min(default_c0, 0.8 * y)
+        growth = max(0.0, (y - c0)) / max(1.0, (w - 1.0)) ** prior_p
+        return CostCurve(c0=c0, a=growth, p=prior_p)
+
+    best: Optional[Tuple[float, CostCurve]] = None
+    p_grid = [prior_p * (0.5 + 0.1 * i) for i in range(11)]  # 0.5x .. 1.5x
+    c0_grid = [y_min * (0.05 + 0.05 * i) for i in range(19)]  # 5% .. 95%
+    for p in p_grid:
+        p = min(2.0, max(0.05, p))
+        basis = [max(0.0, w - 1.0) ** p for w, _ in points]
+        for c0 in c0_grid:
+            num = sum(g * (y - c0) for g, (_, y) in zip(basis, points))
+            den = sum(g * g for g in basis)
+            a = max(0.0, num / den) if den > 0 else 0.0
+            score = sum(
+                ((c0 + a * g - y) / y) ** 2 for g, (_, y) in zip(basis, points)
+            )
+            if best is None or score < best[0]:
+                best = (score, CostCurve(c0=c0, a=a, p=p))
+    assert best is not None
+    return best[1]
+
+
+def _fit_curves(
+    micro: Iterable[ObservedCell], knee: float
+) -> Tuple[
+    Dict[Tuple[str, str], CostCurve],
+    Dict[Tuple[str, str], CostCurve],
+    List[ObservedCell],
+]:
+    """Fit all cost curves; returns (lock, rmw, beyond-knee bus cells)."""
+    groups: Dict[Tuple[str, str, str], List[Tuple[float, float]]] = defaultdict(
+        list
+    )
+    saturated: List[ObservedCell] = []
+    for cell in micro:
+        sig = cell.signature
+        if sig.fabric == "bus" and sig.n_processors > knee:
+            saturated.append(cell)
+            continue
+        groups[(sig.fabric, sig.primitive, sig.kind)].append(
+            (float(sig.n_processors - 1), cell.observed_per_op)
+        )
+    config = SystemConfig()
+    lock_curves: Dict[Tuple[str, str], CostCurve] = {}
+    rmw_curves: Dict[Tuple[str, str], CostCurve] = {}
+    for (fabric, primitive, kind), points in groups.items():
+        klass = primitive_class(primitive)
+        prior = CLASS_EXPONENT.get((fabric, klass), 1.0)
+        transfers = 1.0 if kind == KIND_RMW else 2.0
+        default_c0 = transfers * _derived_transfer(fabric, config)
+        curve = _fit_curve(points, prior, default_c0)
+        if kind == KIND_RMW:
+            rmw_curves[(fabric, primitive)] = curve
+        else:
+            lock_curves[(fabric, primitive)] = curve
+    return lock_curves, rmw_curves, saturated
+
+
+def _group_score(
+    cells: Sequence[ObservedCell], params: CalibrationParams
+) -> float:
+    score = 0.0
+    for cell in cells:
+        predicted = predict(cell.signature, params).cycles
+        rel = (predicted - cell.observed_cycles) / cell.observed_cycles
+        score += rel * rel
+    return score
+
+
+def _refine_curves(
+    micro: Sequence[ObservedCell], params: CalibrationParams
+) -> None:
+    """Rescale each fitted curve against the *forward* model.
+
+    The direct fit treats an observed saturated per-op cost as the
+    curve value at ``w = n - 1`` competitors; the MVA solver evaluates
+    the curve at the equilibrium queue it derives, which lands nearby
+    but not exactly there (and folds in the think time the direct fit
+    ignores).  A per-group multiplicative correction, chosen by
+    minimizing the forward prediction error, removes that systematic
+    offset without disturbing the fitted shape.
+    """
+    groups: Dict[Tuple[str, str, str], List[ObservedCell]] = defaultdict(list)
+    for cell in micro:
+        sig = cell.signature
+        groups[(sig.fabric, sig.primitive, sig.kind)].append(cell)
+    for (fabric, primitive, kind), cells in groups.items():
+        table = params.rmw_curves if kind == KIND_RMW else params.lock_curves
+        base = table[(fabric, primitive)]
+        best: Optional[Tuple[float, CostCurve]] = None
+        for step in range(46):
+            scale = 0.60 + 0.02 * step
+            candidate = CostCurve(
+                c0=base.c0 * scale, a=base.a * scale, p=base.p
+            )
+            table[(fabric, primitive)] = candidate
+            score = _group_score(cells, params)
+            if best is None or score < best[0]:
+                best = (score, candidate)
+        assert best is not None
+        table[(fabric, primitive)] = best[1]
+
+
+def _fit_saturation(
+    saturated: Sequence[ObservedCell],
+    params: CalibrationParams,
+    knee: float,
+    q: float = 2.0,
+) -> Optional[Saturation]:
+    """Match the saturation coefficient to the beyond-knee bus cells."""
+    if not saturated:
+        return None
+    best: Optional[Tuple[float, Saturation]] = None
+    for step in range(42):
+        k = 0.0 if step == 0 else 10.0 ** (1.0 + 0.1 * (step - 1))
+        candidate = Saturation(knee=knee, k=k, q=q)
+        params.saturation["bus"] = candidate
+        score = _group_score(saturated, params)
+        if best is None or score < best[0]:
+            best = (score, candidate)
+    assert best is not None
+    return best[1]
+
+
+def _fit_uni_globals(
+    uni: Sequence[ObservedCell], a_unc: float
+) -> Tuple[float, float]:
+    """Least-squares ``(gamma, uni_overhead)`` from uniprocessor cells.
+
+    Each cell satisfies ``cycles = total_ops*(gamma*local + body +
+    overhead) + phases*serial`` with ``body`` known, i.e. a line
+    ``y = gamma*x + overhead`` through the per-op residuals.
+    """
+    xs, ys = [], []
+    for cell in uni:
+        sig = cell.signature
+        body = sig.cs_compute + sig.cs_accesses + a_unc
+        y = (
+            cell.observed_cycles - sig.phases * sig.serial_compute
+        ) / sig.total_ops - body
+        xs.append(float(sig.local_compute))
+        ys.append(y)
+    if len(xs) < 2:
+        return 1.0, 0.0
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    den = sum((x - mean_x) ** 2 for x in xs)
+    if den == 0:
+        return 1.0, max(0.0, mean_y)
+    gamma = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / den
+    overhead = mean_y - gamma * mean_x
+    return gamma, overhead
+
+
+#: the contention level the single-point 16-processor fig1 cells pin
+#: each bus curve at (w = n - 1 competitors, basis (w - 1)**p)
+_BUS_ANCHOR_W = 14.0
+
+
+def _retarget_exponent(curve: CostCurve, p: float) -> CostCurve:
+    """Change a curve's exponent while preserving its anchor-point cost.
+
+    Scales the growth coefficient so ``C`` at the 16-processor anchor
+    contention is unchanged — the measured point stays exact while the
+    extrapolation slope moves.
+    """
+    scale = _BUS_ANCHOR_W ** (curve.p - p)
+    return CostCurve(c0=curve.c0, a=curve.a * scale, p=p)
+
+
+def _fit_app_globals(
+    apps: Sequence[ObservedCell], params: CalibrationParams
+) -> Tuple[float, float, float]:
+    """Fit the application globals over the parallel app cells.
+
+    Jointly searched: ``straggle``, ``barrier_per_proc``, the bus-storm
+    coupling strength (how much of the system-wide queue a TTS storm
+    pays for — only multi-lock applications distinguish per-lock from
+    system-wide contention, so it cannot come from the single-lock
+    microbenchmarks) and the bus storm-class extrapolation exponent
+    (the 16-processor fig1 cells pin the storm curves at one contention
+    level only; the 32-processor app cells are the sole bus evidence
+    beyond it).
+    """
+    if not apps:
+        return params.straggle, params.barrier_per_proc, params.storm_couple
+    storm_keys = [
+        key
+        for key in params.lock_curves
+        if key[0] == "bus" and primitive_class(key[1]) == "storm"
+    ]
+    base_curves = {key: params.lock_curves[key] for key in storm_keys}
+    best = None
+    for p_step in range(7):
+        p_storm = 0.7 + 0.1 * p_step
+        for key, curve in base_curves.items():
+            params.lock_curves[key] = _retarget_exponent(curve, p_storm)
+        for couple_step in range(0, 11):
+            couple = 0.1 * couple_step
+            for straggle_step in range(0, 11):
+                straggle = 0.2 * straggle_step
+                for barrier in (0.0, 4.0, 8.0, 16.0, 32.0):
+                    params.storm_couple = couple
+                    params.straggle = straggle
+                    params.barrier_per_proc = barrier
+                    score = _group_score(apps, params)
+                    if best is None or score < best[0]:
+                        best = (score, straggle, barrier, couple, p_storm)
+    assert best is not None
+    _, straggle, barrier, couple, p_storm = best
+    for key, curve in base_curves.items():
+        params.lock_curves[key] = _retarget_exponent(curve, p_storm)
+    params.storm_couple = couple
+    # Fine pass on the additive phase terms with the shape fixed.
+    for straggle_step in range(0, 41):
+        fine_straggle = 0.05 * straggle_step
+        for fine_barrier in (0.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0):
+            params.straggle = fine_straggle
+            params.barrier_per_proc = fine_barrier
+            score = _group_score(apps, params)
+            if score < best[0]:
+                best = (score, fine_straggle, fine_barrier, couple, p_storm)
+    return best[1], best[2], best[3]
+
+
+def fit(
+    cells: Sequence[ObservedCell],
+    fitted_from: Tuple[str, ...] = (),
+) -> CalibrationParams:
+    """Fit a full parameter set from observed cells (see module doc)."""
+    config = SystemConfig()
+    knee = float(config.bus_max_outstanding)
+    micro = [c for c in cells if c.signature.kind != KIND_APP]
+    apps = [
+        c
+        for c in cells
+        if c.signature.kind == KIND_APP and c.signature.n_processors > 1
+    ]
+    uni = [
+        c
+        for c in cells
+        if c.signature.kind == KIND_APP and c.signature.n_processors == 1
+    ]
+
+    params = CalibrationParams(
+        transfer={
+            fabric: _derived_transfer(fabric, config)
+            for fabric in ("bus", "directory")
+        },
+        fitted_from=fitted_from,
+    )
+    params.gamma, params.uni_overhead = _fit_uni_globals(uni, params.a_unc)
+    lock_curves, rmw_curves, saturated = _fit_curves(micro, knee)
+    params.lock_curves = lock_curves
+    params.rmw_curves = rmw_curves
+    within_knee = [
+        c
+        for c in micro
+        if not (
+            c.signature.fabric == "bus" and c.signature.n_processors > knee
+        )
+    ]
+    _refine_curves(within_knee, params)
+    sat = _fit_saturation(saturated, params, knee)
+    if sat is not None:
+        params.saturation["bus"] = sat
+    params.straggle, params.barrier_per_proc, params.storm_couple = (
+        _fit_app_globals(apps, params)
+    )
+    return params
+
+
+def fit_from_artifacts(root: pathlib.Path) -> CalibrationParams:
+    """Fit from the committed artifacts under repository *root*."""
+    cells = load_observed_cells(root)
+    if not cells:
+        raise FileNotFoundError(
+            f"no benchmark artifacts found under {root}/results"
+        )
+    names = tuple(sorted({c.artifact for c in cells}))
+    return fit(cells, fitted_from=names)
+
+
+def save_calibration(
+    params: CalibrationParams, path: pathlib.Path
+) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(params.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_calibration(path: pathlib.Path) -> CalibrationParams:
+    return CalibrationParams.from_dict(json.loads(path.read_text()))

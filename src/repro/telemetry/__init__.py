@@ -32,7 +32,12 @@ from repro.telemetry.manifest import (
     canonical,
     stable_hash,
 )
-from repro.telemetry.schema import SchemaError, validate, validate_file
+from repro.telemetry.schema import (
+    SchemaError,
+    infer_schema_path,
+    validate,
+    validate_file,
+)
 from repro.telemetry.sinks import (
     ChromeTraceSink,
     JsonlSink,
@@ -54,6 +59,7 @@ __all__ = [
     "TraceSink",
     "canonical",
     "category_of",
+    "infer_schema_path",
     "metrics_payload",
     "replay",
     "stable_hash",

@@ -33,6 +33,60 @@ class SchemaError(ValueError):
     """The instance does not conform to the schema."""
 
 
+#: self-identifying artifact schemas: the document's top-level "schema"
+#: field names one of these, mapping to its file under tests/schemas/
+SCHEMA_REGISTRY = {
+    "repro-metrics/1": "metrics.schema.json",
+    "repro-metrics-summary/1": "metrics_summary.schema.json",
+    "repro-predict-error/1": "predict_error.schema.json",
+}
+
+
+def _schema_dir() -> pathlib.Path:
+    # src/repro/telemetry/schema.py -> repo root / tests / schemas
+    return pathlib.Path(__file__).resolve().parents[3] / "tests" / "schemas"
+
+
+def infer_schema_path(
+    data_path: Union[str, os.PathLike],
+) -> pathlib.Path:
+    """The registered schema file for a self-identifying artifact.
+
+    Reads the document's top-level ``"schema"`` field (gz-transparent)
+    and resolves it through :data:`SCHEMA_REGISTRY`.  Raises
+    :class:`SchemaError` when the document does not name a registered
+    schema — callers then need an explicit schema path.
+    """
+    data_path = pathlib.Path(data_path)
+    if data_path.suffix == ".gz":
+        import gzip
+
+        text = gzip.decompress(data_path.read_bytes()).decode("utf-8")
+    else:
+        text = data_path.read_text()
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{data_path}: not valid JSON: {exc}") from None
+    identity = document.get("schema") if isinstance(document, dict) else None
+    if not isinstance(identity, str):
+        raise SchemaError(
+            f"{data_path}: document has no top-level 'schema' field; "
+            f"pass --schema explicitly"
+        )
+    filename = SCHEMA_REGISTRY.get(identity)
+    if filename is None:
+        known = ", ".join(sorted(SCHEMA_REGISTRY))
+        raise SchemaError(
+            f"{data_path}: schema {identity!r} is not registered "
+            f"(known: {known}); pass --schema explicitly"
+        )
+    path = _schema_dir() / filename
+    if not path.exists():
+        raise SchemaError(f"registered schema file missing: {path}")
+    return path
+
+
 def _check_type(instance: Any, expected: Union[str, List[str]], path: str) -> None:
     names = [expected] if isinstance(expected, str) else list(expected)
     for name in names:

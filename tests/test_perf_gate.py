@@ -1,0 +1,106 @@
+"""The perf-gate tool's failure diagnostics.
+
+A perf-smoke failure in CI must be diagnosable from the log alone: the
+gate prints a per-cell expected-vs-got diff with relative deltas rather
+than only the failing assertion.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import io
+import pathlib
+
+SPEC = importlib.util.spec_from_file_location(
+    "perf_gate",
+    pathlib.Path(__file__).resolve().parents[1] / "tools" / "perf_gate.py",
+)
+perf_gate = importlib.util.module_from_spec(SPEC)
+SPEC.loader.exec_module(perf_gate)
+
+
+def cell(key, cycles=100, bus=10, events=1000, rate=5000.0):
+    return {
+        "key": key,
+        "cycles": cycles,
+        "bus_transactions": bus,
+        "events_fired": events,
+        "events_per_host_s": rate,
+        "wall_time_s": events / rate,
+    }
+
+
+class TestDiffCollection:
+    def test_equivalence_divergence_is_recorded(self):
+        fast = {"bus/tts/16": cell(["bus", "tts", 16], cycles=101)}
+        reference = {"bus/tts/16": cell(["bus", "tts", 16], cycles=100)}
+        failures, diffs = [], []
+        perf_gate.check_equivalence(fast, reference, failures, diffs)
+        assert len(failures) == 1
+        assert diffs == [
+            {
+                "check": "equivalence",
+                "cell": "bus/tts/16",
+                "field": "cycles",
+                "expected": 100,
+                "got": 101,
+            }
+        ]
+
+    def test_determinism_divergence_is_recorded(self):
+        fast = {"a": cell(["a"], events=1100)}
+        baseline = {"cells": {"a": {"events_fired": 1000}}}
+        failures, diffs = [], []
+        perf_gate.check_baseline(fast, {}, baseline, 0.2, failures, diffs)
+        assert any("determinism" in f for f in failures)
+        assert diffs[0]["expected"] == 1000
+        assert diffs[0]["got"] == 1100
+
+    def test_clean_run_records_nothing(self):
+        grid = {"a": cell(["a"])}
+        failures, diffs = [], []
+        perf_gate.check_equivalence(grid, dict(grid), failures, diffs)
+        assert failures == []
+        assert diffs == []
+
+
+class TestDiffRendering:
+    def test_diff_table_shows_relative_delta(self):
+        out = io.StringIO()
+        perf_gate.print_cell_diffs(
+            [
+                {
+                    "check": "determinism",
+                    "cell": "directory/iqolb/64",
+                    "field": "events_fired",
+                    "expected": 1000,
+                    "got": 1100,
+                }
+            ],
+            file=out,
+        )
+        text = out.getvalue()
+        assert "directory/iqolb/64" in text
+        assert "expected" in text and "got" in text
+        assert "+10.00%" in text
+
+    def test_no_diffs_prints_nothing(self):
+        out = io.StringIO()
+        perf_gate.print_cell_diffs([], file=out)
+        assert out.getvalue() == ""
+
+    def test_zero_expected_renders_na(self):
+        out = io.StringIO()
+        perf_gate.print_cell_diffs(
+            [
+                {
+                    "check": "equivalence",
+                    "cell": "x",
+                    "field": "cycles",
+                    "expected": 0,
+                    "got": 7,
+                }
+            ],
+            file=out,
+        )
+        assert "n/a" in out.getvalue()

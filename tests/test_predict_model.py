@@ -1,0 +1,140 @@
+"""Sanity properties of the analytical prediction model.
+
+The closed-form models must behave like physics before they can be
+trusted as calibrated curve fits: throughput cannot rise when critical
+sections lengthen, a serial section bounds system throughput no matter
+how many processors compete, and with one processor every primitive
+degenerates to the same uncontended rate (the hand-off machinery is
+idle).  Hypothesis drives the signature space; the model is pure
+arithmetic, so these run in milliseconds with no simulator.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.harness.signature import KIND_LOCK, WorkloadSignature
+from repro.predict import CalibrationParams, default_params, predict
+from repro.predict.model import PRIMITIVE_CLASS, CostCurve
+
+#: model arithmetic is fast — allow more examples than the simulator suite
+model_settings = settings(max_examples=60, deadline=None)
+
+PRIMITIVES = sorted(PRIMITIVE_CLASS)
+FABRICS = ("bus", "directory")
+
+
+def lock_signature(
+    primitive: str,
+    fabric: str,
+    n: int,
+    cs_compute: int = 0,
+    local: int = 100,
+) -> WorkloadSignature:
+    return WorkloadSignature(
+        kind=KIND_LOCK,
+        workload="null-cs",
+        primitive=primitive,
+        fabric=fabric,
+        n_processors=n,
+        total_ops=n * 20,
+        n_locks=1,
+        cs_reads=1,
+        cs_writes=1,
+        cs_compute=cs_compute,
+        local_compute=local,
+    )
+
+
+signature_params = st.tuples(
+    st.sampled_from(PRIMITIVES),
+    st.sampled_from(FABRICS),
+    st.integers(min_value=1, max_value=128),
+    st.integers(min_value=0, max_value=300),
+    st.integers(min_value=0, max_value=2000),
+)
+
+
+class TestModelProperties:
+    @model_settings
+    @given(params=signature_params, delta=st.integers(1, 200))
+    def test_throughput_monotone_in_cs_length(self, params, delta):
+        """Lengthening the critical section never raises throughput."""
+        primitive, fabric, n, cs, local = params
+        shorter = predict(lock_signature(primitive, fabric, n, cs, local))
+        longer = predict(
+            lock_signature(primitive, fabric, n, cs + delta, local)
+        )
+        assert longer.throughput <= shorter.throughput * (1 + 1e-9)
+
+    @model_settings
+    @given(params=signature_params)
+    def test_throughput_bounded_by_serial_section(self, params):
+        """A critical section is serial: system throughput can never
+        exceed one operation per CS occupancy, however wide the machine."""
+        primitive, fabric, n, cs, local = params
+        prediction = predict(lock_signature(primitive, fabric, n, cs, local))
+        cs_length = max(1, cs + 2)  # compute + the two body accesses
+        assert prediction.throughput <= 1000.0 / cs_length + 1e-9
+
+    @model_settings
+    @given(
+        fabric=st.sampled_from(FABRICS),
+        cs=st.integers(0, 300),
+        local=st.integers(0, 2000),
+    )
+    def test_all_primitives_converge_at_one_processor(self, fabric, cs, local):
+        """With no contention the choice of primitive is irrelevant —
+        every model must degrade to the identical uncontended rate."""
+        rates = {
+            predict(lock_signature(prim, fabric, 1, cs, local)).throughput
+            for prim in PRIMITIVES
+        }
+        assert len(rates) == 1
+        prediction = predict(lock_signature("tts", fabric, 1, cs, local))
+        assert prediction.regime == "compute-bound"
+        assert prediction.handoff_cycles == 0.0
+
+    @model_settings
+    @given(
+        params=signature_params,
+        extra=st.integers(min_value=1, max_value=64),
+    )
+    def test_throughput_never_negative_and_finite(self, params, extra):
+        primitive, fabric, n, cs, local = params
+        prediction = predict(lock_signature(primitive, fabric, n, cs, local))
+        assert 0.0 < prediction.throughput < 1e6
+        assert prediction.cycles > 0.0
+        assert 0.0 <= prediction.effective_waiters <= n
+
+
+class TestParamsPlumbing:
+    def test_default_params_cover_both_fabrics(self):
+        params = default_params()
+        for fabric in FABRICS:
+            assert params.transfer_for(fabric) > 0
+            sig = lock_signature("mcs", fabric, 8)
+            assert params.curve_for(sig).c0 > 0
+
+    def test_calibration_roundtrip(self):
+        params = default_params()
+        params.lock_curves[("bus", "tts")] = CostCurve(100.0, 7.5, 1.25)
+        restored = CalibrationParams.from_dict(params.to_dict())
+        assert restored.to_dict() == params.to_dict()
+
+    def test_grid_is_simulation_free_and_fast(self):
+        import time
+
+        params = default_params()
+        start = time.perf_counter()
+        count = 0
+        for fabric in FABRICS:
+            for primitive in ("tts", "aggressive", "delayed", "iqolb", "qolb"):
+                n = 1
+                while n <= 128:
+                    predict(lock_signature(primitive, fabric, n), params)
+                    count += 1
+                    n *= 2
+        elapsed = time.perf_counter() - start
+        assert count == 80
+        assert elapsed < 5.0

@@ -1,0 +1,144 @@
+"""Validation harness + calibration + schema plumbing for repro.predict.
+
+Runs the real fit against the committed benchmark artifacts and holds
+the subsystem to the CI gates it advertises: mean relative error within
+bounds, taxonomy ordering preserved, artifact schema-clean (including
+through gzip), calibration round-trippable.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import pathlib
+
+import pytest
+
+from repro.predict import (
+    check_gates,
+    fit_from_artifacts,
+    load_calibration,
+    load_observed_cells,
+    predict,
+    save_calibration,
+    validate_artifacts,
+    write_report,
+)
+from repro.predict.validate import SCHEMA
+from repro.telemetry import SchemaError, infer_schema_path, validate_file
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+SCHEMA_PATH = ROOT / "tests" / "schemas" / "predict_error.schema.json"
+
+pytestmark = pytest.mark.skipif(
+    not (ROOT / "results" / "BENCH_table3.json").exists(),
+    reason="committed benchmark artifacts not present",
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return validate_artifacts(ROOT)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return fit_from_artifacts(ROOT)
+
+
+class TestObservedCells:
+    def test_registry_matches_artifact_identities(self):
+        """The bench constants baked into the registry must agree with
+        what the artifacts say each cell ran."""
+        cells = load_observed_cells(ROOT)
+        assert len(cells) >= 50
+        for cell in cells:
+            sig = cell.signature
+            assert sig.n_processors >= 1
+            assert cell.observed_cycles > 0
+            if cell.artifact == "directory_scaling":
+                fabric, primitive, n = cell.key
+                assert sig.fabric == fabric
+                assert sig.primitive == primitive
+                assert sig.n_processors == n
+                assert sig.workload == "null-cs"
+            elif cell.artifact == "fig1_taxonomy":
+                primitive, shape = cell.key
+                assert sig.primitive == primitive
+                assert sig.kind == ("rmw" if shape == "rmw" else "lock")
+                assert sig.n_processors == 16
+            else:
+                app, _label = cell.key
+                assert sig.workload == app
+                assert sig.kind == "app"
+
+
+class TestGates:
+    def test_meets_advertised_error_and_ordering_gates(self, report):
+        assert check_gates(report) == []
+        assert report.mean_abs_rel_error <= 0.25
+        assert report.ordering_agreement >= 0.90
+        assert len(report.ordering) >= 5
+
+    def test_gates_fail_when_thresholds_are_unreachable(self, report):
+        problems = check_gates(
+            report, max_mean_error=0.0, min_agreement=1.01
+        )
+        assert len(problems) == 2
+
+    def test_observed_ordering_holds_everywhere(self, report):
+        """The simulator itself satisfies tts > delayed > iqolb on every
+        lock-shaped group — a broken group would mean the registry
+        paired the wrong cells."""
+        assert all(group.observed_ordered for group in report.ordering)
+
+
+class TestArtifact:
+    def test_payload_schema_roundtrip(self, tmp_path, report):
+        out = tmp_path / "BENCH_predict_error.summary.json"
+        write_report(report, out)
+        assert validate_file(out, SCHEMA_PATH) == 1
+
+    def test_payload_schema_roundtrip_gzipped(self, tmp_path, report):
+        out = tmp_path / "BENCH_predict_error.summary.json.gz"
+        payload = json.dumps(report.payload()).encode("utf-8")
+        out.write_bytes(gzip.compress(payload))
+        assert validate_file(out, SCHEMA_PATH) == 1
+
+    def test_schema_is_inferred_from_document(self, tmp_path, report):
+        out = tmp_path / "report.json"
+        write_report(report, out)
+        assert infer_schema_path(out) == SCHEMA_PATH
+        assert json.loads(out.read_text())["schema"] == SCHEMA
+
+    def test_unregistered_schema_is_an_error(self, tmp_path):
+        out = tmp_path / "odd.json"
+        out.write_text(json.dumps({"schema": "nobody-knows/9"}))
+        with pytest.raises(SchemaError):
+            infer_schema_path(out)
+
+    def test_committed_artifact_is_current(self, report):
+        """The committed error report must match a fresh fit — CI
+        regenerates and diffs, this is the local early warning."""
+        committed_path = ROOT / "results" / "BENCH_predict_error.summary.json"
+        if not committed_path.exists():
+            pytest.skip("error artifact not committed yet")
+        committed = json.loads(committed_path.read_text())
+        assert committed["summary"] == report.payload()["summary"]
+
+
+class TestCalibration:
+    def test_save_load_roundtrip(self, tmp_path, params):
+        path = tmp_path / "calibration.json"
+        save_calibration(params, path)
+        restored = load_calibration(path)
+        assert restored.to_dict() == params.to_dict()
+
+    def test_fitted_curves_reproduce_micro_cells(self, params):
+        """Each fitted curve must land close on its own fit points."""
+        for cell in load_observed_cells(ROOT):
+            if cell.signature.kind == "app":
+                continue
+            predicted = predict(cell.signature, params).cycles
+            rel = abs(predicted - cell.observed_cycles) / cell.observed_cycles
+            assert rel < 0.15, (cell.artifact, cell.key, rel)

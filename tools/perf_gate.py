@@ -91,7 +91,62 @@ def build_baseline(
     }
 
 
-def check_equivalence(fast, reference, failures) -> None:
+def record_diff(diffs, check, cell, field, expected, got) -> None:
+    """Accumulate one expected-vs-got divergence for the failure report."""
+    if diffs is not None:
+        diffs.append(
+            {
+                "check": check,
+                "cell": cell,
+                "field": field,
+                "expected": expected,
+                "got": got,
+            }
+        )
+
+
+def print_cell_diffs(diffs, file=None) -> None:
+    """Render accumulated divergences as an aligned per-cell diff table,
+    so a CI log shows *which* cells drifted and by how much without
+    re-running the bench locally."""
+    if not diffs:
+        return
+    out = file if file is not None else sys.stderr
+    rows = []
+    for diff in diffs:
+        expected, got = diff["expected"], diff["got"]
+        if isinstance(expected, (int, float)) and expected:
+            delta = f"{(got - expected) / expected:+.2%}"
+        else:
+            delta = "n/a"
+        rows.append(
+            (
+                diff["check"],
+                diff["cell"],
+                diff["field"],
+                str(expected),
+                str(got),
+                delta,
+            )
+        )
+    headers = ("check", "cell", "field", "expected", "got", "delta")
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    print("per-cell diff (expected vs. got):", file=out)
+    print(
+        "  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        file=out,
+    )
+    for row in rows:
+        print(
+            "  " + "  ".join(v.ljust(w) for v, w in zip(row, widths)),
+            file=out,
+        )
+
+
+def check_equivalence(fast, reference, failures, diffs=None) -> None:
     for key in sorted(set(fast) & set(reference)):
         for field in EQUIVALENCE_FIELDS:
             a, b = fast[key].get(field), reference[key].get(field)
@@ -100,6 +155,7 @@ def check_equivalence(fast, reference, failures) -> None:
                     f"equivalence: cell {key} {field} differs between "
                     f"engines (fast={a}, reference={b})"
                 )
+                record_diff(diffs, "equivalence", key, field, b, a)
     missing = set(fast) ^ set(reference)
     for key in sorted(missing):
         failures.append(
@@ -107,7 +163,9 @@ def check_equivalence(fast, reference, failures) -> None:
         )
 
 
-def check_baseline(fast, reference, baseline, tolerance, failures) -> None:
+def check_baseline(
+    fast, reference, baseline, tolerance, failures, diffs=None
+) -> None:
     for key, expected in sorted(baseline.get("cells", {}).items()):
         cell = fast.get(key)
         if cell is None:
@@ -120,6 +178,7 @@ def check_baseline(fast, reference, baseline, tolerance, failures) -> None:
                 f"determinism: cell {key} fired {got} events, baseline "
                 f"says {want} (workload changed? re-run with --update)"
             )
+            record_diff(diffs, "determinism", key, "events_fired", want, got)
     base_speedup = baseline.get("aggregate", {}).get("speedup", 0.0)
     if not base_speedup:
         return
@@ -177,8 +236,9 @@ def main(argv: Optional[list] = None) -> int:
     fast = load_cells(args.fast)
     reference = load_cells(args.reference)
     failures: list = []
+    diffs: list = []
 
-    check_equivalence(fast, reference, failures)
+    check_equivalence(fast, reference, failures, diffs)
     print(
         f"equivalence: {len(set(fast) & set(reference))} cell(s) compared "
         f"across {len(EQUIVALENCE_FIELDS)} fields"
@@ -188,6 +248,7 @@ def main(argv: Optional[list] = None) -> int:
         if failures:
             for failure in failures:
                 print(f"FAIL {failure}", file=sys.stderr)
+            print_cell_diffs(diffs)
             print("refusing to update baseline from diverging engines",
                   file=sys.stderr)
             return 1
@@ -218,11 +279,14 @@ def main(argv: Optional[list] = None) -> int:
                 if args.tolerance is not None
                 else baseline.get("tolerance", 0.20)
             )
-            check_baseline(fast, reference, baseline, tolerance, failures)
+            check_baseline(
+                fast, reference, baseline, tolerance, failures, diffs
+            )
 
     if failures:
         for failure in failures:
             print(f"FAIL {failure}", file=sys.stderr)
+        print_cell_diffs(diffs)
         return 1
     print("perf gate: OK")
     return 0
