@@ -20,14 +20,26 @@ from repro.check.oracles import (
     McsQueueMonitor,
     Violation,
 )
+from repro.core.registry import unknown_choice
 from repro.cpu.ops import Compute, Read, Swap, Write
 from repro.harness.config import SystemConfig
 from repro.harness.experiment import PRIMITIVES
 from repro.harness.system import System
+from repro.sync import qcore
 from repro.sync.barrier import Barrier
 from repro.sync.fetchop import compare_and_swap, fetch_and_add
+from repro.sync.fissile import FAST_ATTEMPTS, UNLOCKED
 from repro.sync.mcs import FLAG_OFFSET, NEXT_OFFSET, SPIN_PAUSE
 from repro.sync.primitives import synthetic_pc
+from repro.sync.reciprocating import (
+    EOS_OFFSET,
+    FREE,
+    GATE_CLOSED,
+    GATE_OFFSET,
+    GATE_OPEN,
+    LOCKED_EMPTY,
+    RES_OFFSET,
+)
 from repro.workloads.base import LockSet, Workload
 
 #: the policy ladder the smoke matrix sweeps (5 primitives)
@@ -343,6 +355,237 @@ class McsHandoff(Workload):
             )
 
 
+class RecipHandoff(Workload):
+    """Reciprocating-lock segment hand-off, instrumented for the checker.
+
+    The program mirrors :class:`~repro.sync.reciprocating
+    .ReciprocatingLock` step for step (same arrivals-word encoding, same
+    node layout and qcore blocks), wrapped in a :class:`CsMonitor` so
+    overlapping critical sections raise in-sim.  The state the lock
+    threads through generator locals — splice predecessor and conveyed
+    ``(eos, res)`` pair — makes the hand-off itself the fragile step:
+    ``drop_terminal_signal`` is the seeded mutation where the segment's
+    terminal holder detaches the pending arrival stack but "forgets" to
+    open the detached top's gate, starving the whole stack.
+    """
+
+    name = "recip-handoff"
+
+    def __init__(
+        self, acquires_per_proc: int = 2, think_cycles: int = 25
+    ) -> None:
+        self.acquires_per_proc = acquires_per_proc
+        self.think_cycles = think_cycles
+        self.monitor: Optional[CsMonitor] = None
+        #: seeded mutation: the terminal holder detaches the pending
+        #: stack but never opens its gate
+        self.drop_terminal_signal = False
+        self.arrivals_addr = 0
+        self.token_addr = 0
+        self.node_addrs: List[int] = []
+        self.expected = 0
+        self.pc_gate = synthetic_pc("recip.check.gate")
+
+    def build(self, system: System) -> None:
+        n = system.config.n_processors
+        self.monitor = CsMonitor()
+        self.arrivals_addr = system.layout.alloc_line()
+        self.token_addr = system.layout.alloc_line()
+        self.node_addrs = [system.layout.alloc_line() for _ in range(n)]
+        self.expected = n * self.acquires_per_proc
+        for node in range(n):
+            system.load_program(node, self._program(node))
+
+    def tracked_lines(self, system: System) -> List[int]:
+        lines = [
+            system.amap.line_addr(self.arrivals_addr),
+            system.amap.line_addr(self.token_addr),
+        ]
+        lines.extend(system.amap.line_addr(a) for a in self.node_addrs)
+        return lines
+
+    def lock_line(self, system: System) -> int:
+        return system.amap.line_addr(self.arrivals_addr)
+
+    def _acquire(self, tid: int):
+        node = self.node_addrs[tid]
+        yield from qcore.signal(node + GATE_OFFSET, GATE_CLOSED)
+        pred = yield from qcore.splice_swap(self.arrivals_addr, node)
+        if pred == FREE:
+            return pred, FREE, node
+        yield from qcore.wait_until(
+            node + GATE_OFFSET, GATE_OPEN, pc=self.pc_gate
+        )
+        eos = yield from qcore.probe(node + EOS_OFFSET)
+        res = yield from qcore.probe(node + RES_OFFSET)
+        return pred, eos, res
+
+    def _admit(self, succ: int, eos: int, res: int, terminal: bool):
+        yield from qcore.signal(succ + EOS_OFFSET, eos)
+        yield from qcore.signal(succ + RES_OFFSET, res)
+        if terminal and self.drop_terminal_signal:
+            return
+        yield from qcore.signal(succ + GATE_OFFSET, GATE_OPEN)
+
+    def _release(self, tid: int, pred: int, eos: int, res: int):
+        if pred != eos:
+            yield from self._admit(pred, eos, res, terminal=False)
+            return
+        freed = yield from qcore.unsplice(
+            self.arrivals_addr, res, "recip.check.release_cas"
+        )
+        if freed:
+            return
+        top = yield from qcore.splice_swap(self.arrivals_addr, LOCKED_EMPTY)
+        yield from self._admit(top, res, LOCKED_EMPTY, terminal=True)
+
+    def _program(self, tid: int):
+        for _ in range(self.acquires_per_proc):
+            pred, eos, res = yield from self._acquire(tid)
+            self.monitor.enter(tid)
+            value = yield Read(self.token_addr)
+            yield Write(self.token_addr, value + 1)
+            self.monitor.exit(tid)
+            yield from self._release(tid, pred, eos, res)
+            yield Compute(self.think_cycles)
+
+    def verify(self, system: System) -> None:
+        actual = system.read_word(self.token_addr)
+        if actual != self.expected:
+            raise AssertionError(
+                f"mutual exclusion violated: token={actual}, "
+                f"expected {self.expected}"
+            )
+        arrivals = system.read_word(self.arrivals_addr)
+        if arrivals != FREE:
+            raise AssertionError(
+                f"arrivals word not FREE after all releases: {arrivals:#x}"
+            )
+
+
+class FissileHandoff(Workload):
+    """Fissile-lock anti-collapse hand-off, instrumented for the checker.
+
+    Mirrors :class:`~repro.sync.fissile.FissileLock` step for step:
+    bounded barging on the inner test&set word, MCS-style outer queue,
+    and the head's promote-successor-before-CS step.  That promotion is
+    the lock's load-bearing liveness edge — the *only* place an outer
+    waiter is ever woken — so ``skip_anti_collapse`` is the seeded
+    mutation: the head enters the critical section without promoting,
+    and every thread parked behind it starves.
+    """
+
+    name = "fissile-handoff"
+
+    def __init__(
+        self, acquires_per_proc: int = 2, think_cycles: int = 25
+    ) -> None:
+        self.acquires_per_proc = acquires_per_proc
+        self.think_cycles = think_cycles
+        self.monitor: Optional[CsMonitor] = None
+        #: seeded mutation: the head never promotes its successor
+        self.skip_anti_collapse = False
+        self.inner_addr = 0
+        self.tail_addr = 0
+        self.token_addr = 0
+        self.node_addrs: List[int] = []
+        self.expected = 0
+        self.pc_fast = synthetic_pc("fissile.check.fast")
+        self.pc_queue = synthetic_pc("fissile.check.queue")
+        self.pc_head = synthetic_pc("fissile.check.head")
+
+    def build(self, system: System) -> None:
+        n = system.config.n_processors
+        self.monitor = CsMonitor()
+        self.inner_addr = system.layout.alloc_line()
+        self.tail_addr = system.layout.alloc_line()
+        self.token_addr = system.layout.alloc_line()
+        self.node_addrs = [system.layout.alloc_line() for _ in range(n)]
+        self.expected = n * self.acquires_per_proc
+        for node in range(n):
+            system.load_program(node, self._program(node))
+
+    def tracked_lines(self, system: System) -> List[int]:
+        lines = [
+            system.amap.line_addr(self.inner_addr),
+            system.amap.line_addr(self.tail_addr),
+            system.amap.line_addr(self.token_addr),
+        ]
+        lines.extend(system.amap.line_addr(a) for a in self.node_addrs)
+        return lines
+
+    def lock_line(self, system: System) -> int:
+        return system.amap.line_addr(self.inner_addr)
+
+    def _acquire(self, tid: int):
+        node = self.node_addrs[tid]
+        backoff = SPIN_PAUSE
+        for _attempt in range(FAST_ATTEMPTS):
+            old = yield from qcore.grab(self.inner_addr, pc=self.pc_fast)
+            if old == UNLOCKED:
+                return
+            yield from qcore.pause(backoff)
+            backoff = min(backoff * 2, 256)
+        yield from qcore.signal(node + NEXT_OFFSET, 0)
+        yield from qcore.signal(node + FLAG_OFFSET, 0)
+        predecessor = yield from qcore.splice_swap(self.tail_addr, node)
+        if predecessor != 0:
+            yield from qcore.signal(predecessor + NEXT_OFFSET, node)
+            yield from qcore.wait_until(
+                node + FLAG_OFFSET, qcore.nonzero, pc=self.pc_queue
+            )
+        while True:
+            value = yield from qcore.probe(self.inner_addr, pc=self.pc_head)
+            if value == UNLOCKED:
+                old = yield from qcore.grab(self.inner_addr, pc=self.pc_head)
+                if old == UNLOCKED:
+                    break
+            yield from qcore.pause(SPIN_PAUSE)
+        if not self.skip_anti_collapse:
+            yield from self._promote_successor(node)
+
+    def _promote_successor(self, node: int):
+        next_node = yield from qcore.probe(node + NEXT_OFFSET)
+        if next_node == 0:
+            swapped = yield from qcore.unsplice(
+                self.tail_addr, node, pc_label="fissile.check.promote_cas"
+            )
+            if swapped:
+                return
+            next_node = yield from qcore.wait_until(
+                node + NEXT_OFFSET, qcore.nonzero
+            )
+        yield from qcore.signal(next_node + FLAG_OFFSET, 1)
+
+    def _program(self, tid: int):
+        for _ in range(self.acquires_per_proc):
+            yield from self._acquire(tid)
+            self.monitor.enter(tid)
+            value = yield Read(self.token_addr)
+            yield Write(self.token_addr, value + 1)
+            self.monitor.exit(tid)
+            yield from qcore.signal(self.inner_addr, UNLOCKED)
+            yield Compute(self.think_cycles)
+
+    def verify(self, system: System) -> None:
+        actual = system.read_word(self.token_addr)
+        if actual != self.expected:
+            raise AssertionError(
+                f"mutual exclusion violated: token={actual}, "
+                f"expected {self.expected}"
+            )
+        inner = system.read_word(self.inner_addr)
+        if inner != UNLOCKED:
+            raise AssertionError(
+                f"inner word still held after all releases: {inner}"
+            )
+        tail = system.read_word(self.tail_addr)
+        if tail != 0:
+            raise AssertionError(
+                f"fissile outer tail not nil after all releases: {tail:#x}"
+            )
+
+
 @dataclasses.dataclass
 class BuiltScenario:
     """Everything a checker run needs, freshly constructed."""
@@ -393,6 +636,14 @@ def _make_mcs(primitive: str, acquires_per_proc: int) -> Workload:
     return McsHandoff(acquires_per_proc=acquires_per_proc)
 
 
+def _make_recip(primitive: str, acquires_per_proc: int) -> Workload:
+    return RecipHandoff(acquires_per_proc=acquires_per_proc)
+
+
+def _make_fissile(primitive: str, acquires_per_proc: int) -> Workload:
+    return FissileHandoff(acquires_per_proc=acquires_per_proc)
+
+
 #: the scenario registry: one dict so the CLI ``choices``, the runner
 #: matrix, and the unknown-scenario error message cannot drift apart.
 #: Each factory takes ``(primitive, acquires_per_proc)`` — the per-proc
@@ -402,6 +653,8 @@ SCENARIOS: Dict[str, Callable[[str, int], Workload]] = {
     "counter": _make_counter,
     "barrier": _make_barrier,
     "mcs": _make_mcs,
+    "reciprocating": _make_recip,
+    "fissile": _make_fissile,
 }
 
 
@@ -429,9 +682,8 @@ def build_scenario(
     try:
         factory = SCENARIOS[scenario]
     except KeyError:
-        raise ValueError(
-            f"unknown scenario {scenario!r}; "
-            f"known: {', '.join(scenario_names())}"
+        raise unknown_choice(
+            "scenario", scenario, scenario_names()
         ) from None
     config = make_config(
         primitive, interconnect, n_processors, timeout_cycles, max_cycles, engine
@@ -494,6 +746,24 @@ def _mutate_mcs_drop_handoff(system: System, workload) -> None:
     _require(workload, McsHandoff, "mcs_drop_handoff").drop_next_handoff = True
 
 
+def _mutate_recip_drop_terminal_signal(system: System, workload) -> None:
+    """The reciprocating terminal holder detaches the pending arrival
+    stack but never opens the detached top's gate: the whole stacked
+    segment spins on closed gates forever."""
+    _require(
+        workload, RecipHandoff, "recip_drop_terminal_signal"
+    ).drop_terminal_signal = True
+
+
+def _mutate_fissile_skip_anti_collapse(system: System, workload) -> None:
+    """The fissile head enters the critical section without promoting
+    its outer-queue successor — the one wake-up edge outer waiters have
+    — so everyone parked behind it starves."""
+    _require(
+        workload, FissileHandoff, "fissile_skip_anti_collapse"
+    ).skip_anti_collapse = True
+
+
 #: mutation registry: protocol-level mutations patch the system, the
 #: scenario-level ones arm a deliberate bug in the workload itself.
 MUTATIONS: Dict[str, Callable[[System, Workload], None]] = {
@@ -501,6 +771,8 @@ MUTATIONS: Dict[str, Callable[[System, Workload], None]] = {
     "barrier_skip_sense_flip": _mutate_barrier_skip_sense_flip,
     "barrier_early_release": _mutate_barrier_early_release,
     "mcs_drop_handoff": _mutate_mcs_drop_handoff,
+    "recip_drop_terminal_signal": _mutate_recip_drop_terminal_signal,
+    "fissile_skip_anti_collapse": _mutate_fissile_skip_anti_collapse,
 }
 
 
@@ -519,7 +791,5 @@ def install_mutation(
     try:
         installer = MUTATIONS[name]
     except KeyError:
-        raise ValueError(
-            f"unknown mutation {name!r}; known: {', '.join(sorted(MUTATIONS))}"
-        ) from None
+        raise unknown_choice("mutation", name, mutation_names()) from None
     installer(system, workload)

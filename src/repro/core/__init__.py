@@ -14,7 +14,15 @@ from repro.core.iqolb import IqolbPolicy
 from repro.core.policy import SUPPLY_NOW, DeferDecision, ProtocolPolicy
 from repro.core.predictor import HeldLock, HeldLockTable, LockPredictor
 from repro.core.qolb import QolbPolicy
-from repro.core.registry import make_policy, policy_names
+from repro.core.registry import (
+    PRIMITIVE_SPECS,
+    PrimitiveSpec,
+    get_primitive,
+    make_policy,
+    policy_names,
+    primitive_names,
+    unknown_choice,
+)
 
 __all__ = [
     "AdaptiveBaselinePolicy",
@@ -26,9 +34,14 @@ __all__ = [
     "HeldLockTable",
     "IqolbPolicy",
     "LockPredictor",
+    "PRIMITIVE_SPECS",
+    "PrimitiveSpec",
     "ProtocolPolicy",
     "QolbPolicy",
     "SUPPLY_NOW",
+    "get_primitive",
     "make_policy",
     "policy_names",
+    "primitive_names",
+    "unknown_choice",
 ]

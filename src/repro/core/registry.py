@@ -1,4 +1,4 @@
-"""Policy and interconnect registries: build both by name.
+"""Policy, primitive, and interconnect registries: build each by name.
 
 Policy names follow the paper's Figure 1 taxonomy::
 
@@ -12,6 +12,15 @@ Policy names follow the paper's Figure 1 taxonomy::
     adaptive            Conservative hybrid: RFO on first LL after an SC
     qolb                Explicit QOLB (EnQOLB/DeQOLB instructions)
 
+A *primitive* (paper §4) pairs a synchronization library implementation
+(the ``lock_kind`` the workloads instantiate) with the protocol policy
+it runs on.  :data:`PRIMITIVE_SPECS` is the single source of truth: the
+experiment runner's primitive table, the workloads' lock-kind list, the
+prediction model's taxonomy classes, and the test suites' parameter
+grids are all derived from it, so registering a primitive here is the
+one step that wires it through the whole stack (and through the
+conformance suite, which fails loudly on unregistered kinds).
+
 Interconnects select the coherence fabric the ladder runs on::
 
     bus        broadcast MOESI snooping bus + data crossbar (paper Table 1)
@@ -20,7 +29,8 @@ Interconnects select the coherence fabric the ladder runs on::
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Tuple
+import dataclasses
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Tuple
 
 from repro.core.baseline import (
     AdaptiveBaselinePolicy,
@@ -37,6 +47,14 @@ if TYPE_CHECKING:  # pragma: no cover — type-only imports
     from repro.engine.stats import StatsRegistry
     from repro.harness.config import SystemConfig
     from repro.mem.mainmemory import MainMemory
+
+def unknown_choice(kind: str, value: Any, known: Iterable[str]) -> ValueError:
+    """The registry rejection error: names the bad value AND the valid
+    choices, so a typo'd CLI flag or spec field is self-diagnosing."""
+    return ValueError(
+        f"unknown {kind} {value!r}; known: {', '.join(known)}"
+    )
+
 
 _FACTORIES: Dict[str, Callable[..., ProtocolPolicy]] = {
     "baseline": BaselinePolicy,
@@ -62,9 +80,94 @@ def make_policy(name: str, **kwargs: Any) -> ProtocolPolicy:
     """Instantiate a fresh policy (one instance per controller)."""
     factory = _FACTORIES.get(name)
     if factory is None:
-        known = ", ".join(_FACTORIES)
-        raise ValueError(f"unknown policy {name!r}; known: {known}")
+        raise unknown_choice("policy", name, _FACTORIES)
     return factory(**kwargs)
+
+
+@dataclasses.dataclass(frozen=True)
+class PrimitiveSpec:
+    """One registered synchronization primitive.
+
+    ``policy``
+        Protocol policy name (a :func:`make_policy` choice).
+    ``lock_kind``
+        Software lock the workloads instantiate (a
+        :data:`repro.workloads.base.LOCK_KINDS` choice).
+    ``taxonomy``
+        Throughput-model class: ``storm`` (centralized spinning),
+        ``deferred`` (delay-bounded storm), ``queued`` (hardware
+        queue), ``swqueue`` (software queue).
+    ``fifo``
+        Whether the primitive *claims* FIFO grant order — asserted by
+        the conformance suite only where claimed (reciprocating and
+        fissile trade FIFO for throughput by design).
+    """
+
+    name: str
+    policy: str
+    lock_kind: str
+    taxonomy: str
+    fifo: bool
+    description: str = ""
+
+
+def _spec(name, policy, lock_kind, taxonomy, fifo, description):
+    return name, PrimitiveSpec(
+        name, policy, lock_kind, taxonomy, fifo, description
+    )
+
+
+#: primitive name -> spec, in ladder order (single source of truth for
+#: the experiment runner, workloads, prediction model, and test grids)
+PRIMITIVE_SPECS: Dict[str, PrimitiveSpec] = dict([
+    _spec("tts", "baseline", "tts", "storm", False,
+          "test&test&set via LL/SC on the conventional protocol"),
+    _spec("qolb", "qolb", "qolb", "queued", False,
+          "explicit QOLB (EnQOLB/DeQOLB) on the QOLB protocol"),
+    _spec("iqolb", "iqolb", "tts", "queued", False,
+          "the TTS binary, unmodified, on the IQOLB protocol"),
+    _spec("iqolb+retention", "iqolb+retention", "tts", "queued", False,
+          "IQOLB with queue retention across RFOs"),
+    _spec("iqolb+gen", "iqolb+gen", "tts", "queued", False,
+          "generalized IQOLB forwarding protected data"),
+    _spec("adaptive", "adaptive", "tts", "storm", False,
+          "conservative hybrid: RFO on first LL after an SC"),
+    _spec("delayed", "delayed", "tts", "deferred", False,
+          "delayed-response protocol under the TTS binary"),
+    _spec("delayed+retention", "delayed+retention", "tts", "deferred",
+          False, "delayed response with queue retention"),
+    _spec("aggressive", "aggressive", "tts", "storm", False,
+          "baseline plus RFO on LL"),
+    _spec("ticket", "baseline", "ticket", "swqueue", True,
+          "counting-splice ticket lock on a global grant word"),
+    _spec("mcs", "baseline", "mcs", "swqueue", True,
+          "pointer-splice queue lock spinning on own node"),
+    _spec("anderson", "baseline", "anderson", "swqueue", True,
+          "counting-splice array lock spinning on a slot"),
+    _spec("clh", "baseline", "clh", "swqueue", True,
+          "pointer-splice queue lock spinning on predecessor node"),
+    _spec("ts", "baseline", "ts", "storm", False,
+          "plain test&set via LL/SC"),
+    _spec("reciprocating", "baseline", "reciprocating", "swqueue", False,
+          "single-word palindromic-admission stack lock "
+          "(Dice & Kogan 2025)"),
+    _spec("fissile", "baseline", "fissile", "swqueue", False,
+          "test&set fast path behind an MCS anti-collapse queue "
+          "(Dice & Kogan 2020)"),
+])
+
+
+def primitive_names() -> List[str]:
+    """All registered primitive names, in ladder order."""
+    return list(PRIMITIVE_SPECS)
+
+
+def get_primitive(name: str) -> PrimitiveSpec:
+    """Look up a primitive spec; rejection lists the valid choices."""
+    spec = PRIMITIVE_SPECS.get(name)
+    if spec is None:
+        raise unknown_choice("primitive", name, PRIMITIVE_SPECS)
+    return spec
 
 
 INTERCONNECTS: Tuple[str, ...] = ("bus", "directory")
@@ -136,7 +239,4 @@ def make_interconnect(
             queue_retention=queue_retention,
         )
         return directory, network
-    known = ", ".join(INTERCONNECTS)
-    raise ValueError(
-        f"unknown interconnect {cfg.interconnect!r}; known: {known}"
-    )
+    raise unknown_choice("interconnect", cfg.interconnect, INTERCONNECTS)

@@ -19,6 +19,7 @@ import dataclasses
 import time
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
+from repro.core.registry import PRIMITIVE_SPECS, get_primitive
 from repro.harness.config import SystemConfig
 from repro.harness.system import System
 from repro.telemetry.manifest import RunManifest, workload_seed
@@ -29,23 +30,19 @@ if TYPE_CHECKING:  # pragma: no cover — avoids a runtime import cycle
     from repro.harness.cache import ResultCache
     from repro.harness.runner import RunnerStats
 
-#: primitive name -> (protocol policy, lock kind)
+#: primitive name -> (protocol policy, lock kind), derived from the
+#: central registry (:data:`repro.core.registry.PRIMITIVE_SPECS`)
 PRIMITIVES: Dict[str, tuple] = {
-    "tts": ("baseline", "tts"),
-    "qolb": ("qolb", "qolb"),
-    "iqolb": ("iqolb", "tts"),
-    "iqolb+retention": ("iqolb+retention", "tts"),
-    "iqolb+gen": ("iqolb+gen", "tts"),
-    "adaptive": ("adaptive", "tts"),
-    "delayed": ("delayed", "tts"),
-    "delayed+retention": ("delayed+retention", "tts"),
-    "aggressive": ("aggressive", "tts"),
-    "ticket": ("baseline", "ticket"),
-    "mcs": ("baseline", "mcs"),
-    "anderson": ("baseline", "anderson"),
-    "clh": ("baseline", "clh"),
-    "ts": ("baseline", "ts"),
+    name: (spec.policy, spec.lock_kind)
+    for name, spec in PRIMITIVE_SPECS.items()
 }
+
+
+def primitive_pair(primitive: str) -> tuple:
+    """``(policy, lock_kind)`` for a primitive; rejection of an
+    unregistered name lists the valid choices."""
+    spec = get_primitive(primitive)
+    return spec.policy, spec.lock_kind
 
 
 @dataclasses.dataclass
@@ -94,7 +91,7 @@ def run_workload(
     import repro
 
     start = time.perf_counter()
-    policy, _lock_kind = PRIMITIVES[primitive]
+    policy, _lock_kind = primitive_pair(primitive)
     run_config = config.with_(policy=policy)
     system = System(run_config, tracer=tracer)
     if telemetry is not None:
@@ -134,7 +131,7 @@ def run_app(
     telemetry: Optional[Any] = None,
 ) -> RunResult:
     """Run one synthetic SPLASH-2 model under one primitive."""
-    policy, lock_kind = PRIMITIVES[primitive]
+    policy, lock_kind = primitive_pair(primitive)
     app = make_app(app_name, lock_kind=lock_kind, model_overrides=model_overrides)
     config = SystemConfig(n_processors=n_processors, policy=policy)
     if config_overrides:
@@ -156,7 +153,7 @@ def app_signature(
     description ``repro run`` reports and ``repro predict`` models."""
     from repro.harness.signature import WorkloadSignature
 
-    policy, lock_kind = PRIMITIVES[primitive]
+    policy, lock_kind = primitive_pair(primitive)
     app = make_app(
         app_name, lock_kind=lock_kind, model_overrides=model_overrides
     )
@@ -228,7 +225,7 @@ def table3_cells(
             for primitive in ("tts", "qolb", "iqolb")
         ]
         for label, primitive, procs in runs:
-            policy, lock_kind = PRIMITIVES[primitive]
+            policy, lock_kind = primitive_pair(primitive)
             cells.append(
                 CellSpec(
                     key=(name, label),

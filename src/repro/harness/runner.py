@@ -98,6 +98,14 @@ class CellSpec:
     workload: Any  # FactorySpec | AppSpec (anything with make/describe)
     verify: bool = True
 
+    def __post_init__(self) -> None:
+        # Reject unregistered primitives at construction, with the
+        # registry's choice-listing message — a typo'd sweep spec fails
+        # before any cell is simulated, not deep inside a worker.
+        from repro.core.registry import get_primitive
+
+        get_primitive(self.primitive)
+
     def describe(self) -> Any:
         """The content description hashed into the cache key."""
         return {

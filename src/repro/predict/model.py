@@ -53,6 +53,7 @@ import dataclasses
 import math
 from typing import Any, Dict, Optional, Tuple
 
+from repro.core.registry import PRIMITIVE_SPECS
 from repro.harness.config import SystemConfig
 from repro.harness.signature import KIND_APP, KIND_RMW, WorkloadSignature
 
@@ -66,22 +67,10 @@ __all__ = [
     "predict_speedups",
 ]
 
-#: primitive -> model class (see module docstring table)
+#: primitive -> model class (see module docstring table), derived from
+#: the central registry so every registered primitive gets a curve
 PRIMITIVE_CLASS: Dict[str, str] = {
-    "tts": "storm",
-    "ts": "storm",
-    "aggressive": "storm",
-    "adaptive": "storm",
-    "delayed": "deferred",
-    "delayed+retention": "deferred",
-    "iqolb": "queued",
-    "iqolb+retention": "queued",
-    "iqolb+gen": "queued",
-    "qolb": "queued",
-    "ticket": "swqueue",
-    "mcs": "swqueue",
-    "anderson": "swqueue",
-    "clh": "swqueue",
+    name: spec.taxonomy for name, spec in PRIMITIVE_SPECS.items()
 }
 
 #: class -> default contention-growth exponent per fabric

@@ -1,12 +1,19 @@
-"""Simulated synchronization library: locks, fetch&op, barriers."""
+"""Simulated synchronization library: locks, fetch&op, barriers.
+
+Every queue-shaped lock here is a composition over the
+:mod:`repro.sync.qcore` splice/wait/signal building blocks (Golab,
+HPL-2012-100); see ``docs/protocols.md`` for the decomposition table.
+"""
 
 from repro.sync.anderson import AndersonLock
 from repro.sync.barrier import Barrier
 from repro.sync.clh import ClhLock
 from repro.sync.fetchop import compare_and_swap, fetch_and_add, fetch_and_op
+from repro.sync.fissile import FissileLock
 from repro.sync.mcs import McsLock
 from repro.sync.primitives import Lock, synthetic_pc
 from repro.sync.qolb_lock import QolbLock
+from repro.sync.reciprocating import ReciprocatingLock
 from repro.sync.ticket import TicketLock
 from repro.sync.tts import TSLock, TTSLock
 
@@ -14,9 +21,11 @@ __all__ = [
     "AndersonLock",
     "Barrier",
     "ClhLock",
+    "FissileLock",
     "Lock",
     "McsLock",
     "QolbLock",
+    "ReciprocatingLock",
     "TSLock",
     "TTSLock",
     "TicketLock",

@@ -3,10 +3,13 @@
 T. E. Anderson, "The Performance of Spin Lock Alternatives for
 Shared-Memory Multiprocessors", IEEE TPDS 1(1), 1990.
 
-Acquire takes a slot with an atomic fetch&increment on the tail counter
-and spins on its own flag word; release sets the next slot's flag.  Each
-slot lives in its own cache line so waiters spin without interfering —
-the software ancestor of the hardware queues this paper builds.
+In the :mod:`repro.sync.qcore` decomposition, Anderson's lock is the
+*counting* splice (fetch&increment on a tail counter, the ticket taken
+modulo the slot count) with the wait block pointed at a ticket-indexed
+slot word and a two-store signal: reset your slot for its next
+wrap-around use, then open the next slot.  Each slot lives in its own
+cache line so waiters spin without interfering — the software ancestor
+of the hardware queues this paper builds.
 
 The slot array must have at least as many slots as there are concurrent
 contenders (threads), as in Anderson's original design.
@@ -16,11 +19,10 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.cpu.ops import Compute, Read, Write
-from repro.sync.fetchop import fetch_and_add
+from repro.sync import qcore
 from repro.sync.primitives import Lock, synthetic_pc
 
-SPIN_PAUSE = 24
+SPIN_PAUSE = qcore.SPIN_PAUSE
 
 #: slot flag values
 HAS_LOCK = 1
@@ -56,17 +58,18 @@ class AndersonLock(Lock):
 
     def acquire_slot(self):
         """Generator: acquire; returns the slot index (keep for release)."""
-        ticket = yield from fetch_and_add(self.tail_addr, 1, "anderson.grab")
+        ticket = yield from qcore.splice_count(self.tail_addr, "anderson.grab")
         slot = ticket % self.n_slots
-        while True:
-            flag = yield Read(self.slot_addrs[slot], pc=self.pc_spin)
-            if flag == HAS_LOCK:
-                return slot
-            yield Compute(SPIN_PAUSE)
+        yield from qcore.wait_until(
+            self.slot_addrs[slot], HAS_LOCK, pc=self.pc_spin
+        )
+        return slot
 
     def release_slot(self, slot: int):
         """Generator: release from the given slot."""
         # Reset our slot for its next wrap-around use, then pass the
         # lock to the next slot.
-        yield Write(self.slot_addrs[slot], MUST_WAIT)
-        yield Write(self.slot_addrs[(slot + 1) % self.n_slots], HAS_LOCK)
+        yield from qcore.signal(self.slot_addrs[slot], MUST_WAIT)
+        yield from qcore.signal(
+            self.slot_addrs[(slot + 1) % self.n_slots], HAS_LOCK
+        )

@@ -11,8 +11,7 @@ returned so the generator protocol stays stateless.
 
 from __future__ import annotations
 
-from repro.cpu.ops import Compute, Read, Write
-from repro.sync.fetchop import fetch_and_add
+from repro.sync import qcore
 from repro.sync.primitives import synthetic_pc
 
 SPIN_PAUSE = 16
@@ -33,18 +32,21 @@ class Barrier:
     def wait(self, local_sense: int):
         """Generator: block until all parties arrive; returns new sense."""
         new_sense = 1 - local_sense
-        arrived = yield from fetch_and_add(self.count_addr, 1, "barrier.arrive")
+        arrived = yield from qcore.splice_count(
+            self.count_addr, "barrier.arrive"
+        )
         if arrived + 1 == self.parties:
             # Last arriver: reset the count, then flip the global sense.
-            yield Write(self.count_addr, 0)
-            yield Write(self.sense_addr, new_sense)
+            yield from qcore.signal(self.count_addr, 0)
+            yield from qcore.signal(self.sense_addr, new_sense)
             return new_sense
-        pause = SPIN_PAUSE
-        while True:
-            sense = yield Read(self.sense_addr, pc=self.pc_spin)
-            if sense == new_sense:
-                return new_sense
-            # Exponential backoff: barrier waits can be long (serial
-            # phases), and proportional backoff keeps the spin cheap.
-            yield Compute(pause)
-            pause = min(pause * 2, MAX_SPIN_PAUSE)
+        # Exponential backoff: barrier waits can be long (serial
+        # phases), and proportional backoff keeps the spin cheap.
+        yield from qcore.wait_until(
+            self.sense_addr,
+            new_sense,
+            pc=self.pc_spin,
+            pause=SPIN_PAUSE,
+            max_pause=MAX_SPIN_PAUSE,
+        )
+        return new_sense

@@ -1,11 +1,13 @@
 """The CLH queue lock (Craig; Landin & Hagersten).
 
-A list-based queue lock like MCS but spinning on the *predecessor's*
-node: acquire swaps a fresh node into the tail and spins until the
-predecessor clears its flag; release clears the own node's flag and
-recycles the predecessor's node.  Included, with MCS and Anderson, to
-place the paper's hardware queues against the full software-queue
-landscape.
+A list-based queue lock like MCS but with the *wait* block pointed at
+the **predecessor's** node: acquire is a pointer splice on the tail plus
+a wait until the predecessor's flag clears; release is a single signal
+on the thread's *own* node (no successor lookup at all — the successor
+is already watching).  In Golab's decomposition the whole MCS/CLH split
+is exactly this choice of wait location plus MCS's extra link/signal
+pair.  Included, with MCS and Anderson, to place the paper's hardware
+queues against the full software-queue landscape.
 
 Node management: each thread owns a node and inherits its predecessor's
 on release (the classic recycling trick), implemented here with a
@@ -14,10 +16,10 @@ per-thread "my node" register kept in the generator's locals.
 
 from __future__ import annotations
 
-from repro.cpu.ops import Compute, Read, Swap, Write
+from repro.sync import qcore
 from repro.sync.primitives import Lock, synthetic_pc
 
-SPIN_PAUSE = 24
+SPIN_PAUSE = qcore.SPIN_PAUSE
 
 #: node flag values
 PENDING = 1   # holder or waiter: successors must wait
@@ -51,14 +53,11 @@ class ClhLock(Lock):
         ``predecessor_node`` for the next acquire."""
         if node_addr == 0:
             raise ValueError("CLH node cannot live at address 0")
-        yield Write(node_addr, PENDING)
-        predecessor = yield Swap(self.tail_addr, node_addr)
-        while True:
-            flag = yield Read(predecessor, pc=self.pc_spin)
-            if flag == GRANTED:
-                return node_addr, predecessor
-            yield Compute(SPIN_PAUSE)
+        yield from qcore.signal(node_addr, PENDING)
+        predecessor = yield from qcore.splice_swap(self.tail_addr, node_addr)
+        yield from qcore.wait_until(predecessor, GRANTED, pc=self.pc_spin)
+        return node_addr, predecessor
 
     def release_with(self, held_node: int):
         """Generator: release the lock held via ``held_node``."""
-        yield Write(held_node, GRANTED)
+        yield from qcore.signal(held_node, GRANTED)

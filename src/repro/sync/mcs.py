@@ -1,10 +1,11 @@
 """MCS queue lock (paper §2 related work: Mellor-Crummey & Scott).
 
-The classic software queue lock: each thread enqueues its own node with
-an atomic swap on the tail pointer and spins on a flag in its *own* node,
-so waiting generates no traffic on the lock word.  This is the software
-analogue of what QOLB/IQOLB build in hardware, included for the wider
-primitive comparison benches.
+The classic software queue lock, expressed as a composition over the
+:mod:`repro.sync.qcore` building blocks: a pointer *splice* on the tail,
+a *wait* on a flag in the thread's *own* node (so waiting generates no
+traffic on the lock word), and a *signal* store opening the successor's
+flag.  This is the software analogue of what QOLB/IQOLB build in
+hardware, included for the wider primitive comparison benches.
 
 Addressing: nodes are identified by their base address; ``0`` means nil,
 so callers must never place a node at address 0.  Each node occupies two
@@ -13,12 +14,10 @@ words: ``flag`` (base) and ``next`` (base + 4).
 
 from __future__ import annotations
 
-from repro.cpu.ops import Compute, Read, Swap, Write
 from repro.mem.address import WORD_BYTES
-from repro.sync.fetchop import compare_and_swap
+from repro.sync import qcore
 from repro.sync.primitives import Lock, synthetic_pc
-
-SPIN_PAUSE = 24
+from repro.sync.qcore import SPIN_PAUSE  # noqa: F401  (re-export: scenarios)
 
 FLAG_OFFSET = 0
 NEXT_OFFSET = WORD_BYTES
@@ -38,31 +37,28 @@ class McsLock(Lock):
         """Acquire using the caller's queue node at ``node_addr``."""
         if node_addr == 0:
             raise ValueError("MCS node cannot live at address 0")
-        yield Write(node_addr + NEXT_OFFSET, 0)
-        yield Write(node_addr + FLAG_OFFSET, 0)
-        predecessor = yield Swap(self.tail_addr, node_addr)
+        yield from qcore.signal(node_addr + NEXT_OFFSET, 0)
+        yield from qcore.signal(node_addr + FLAG_OFFSET, 0)
+        predecessor = yield from qcore.splice_swap(self.tail_addr, node_addr)
         if predecessor == 0:
             return
-        yield Write(predecessor + NEXT_OFFSET, node_addr)
-        while True:
-            flag = yield Read(node_addr + FLAG_OFFSET, pc=self.pc_spin)
-            if flag:
-                return
-            yield Compute(SPIN_PAUSE)
+        # Link into the predecessor's node, then wait on our *own* flag.
+        yield from qcore.signal(predecessor + NEXT_OFFSET, node_addr)
+        yield from qcore.wait_until(
+            node_addr + FLAG_OFFSET, qcore.nonzero, pc=self.pc_spin
+        )
 
     def release_with(self, node_addr: int):
         """Release using the same node that acquired."""
-        next_node = yield Read(node_addr + NEXT_OFFSET)
+        next_node = yield from qcore.probe(node_addr + NEXT_OFFSET)
         if next_node == 0:
-            swapped = yield from compare_and_swap(
-                self.tail_addr, node_addr, 0, pc_label="mcs.release_cas"
+            swapped = yield from qcore.unsplice(
+                self.tail_addr, node_addr, pc_label="mcs.release_cas"
             )
             if swapped:
                 return
             # A successor is mid-enqueue: wait for it to link in.
-            while True:
-                next_node = yield Read(node_addr + NEXT_OFFSET)
-                if next_node != 0:
-                    break
-                yield Compute(SPIN_PAUSE)
-        yield Write(next_node + FLAG_OFFSET, 1)
+            next_node = yield from qcore.wait_until(
+                node_addr + NEXT_OFFSET, qcore.nonzero
+            )
+        yield from qcore.signal(next_node + FLAG_OFFSET, 1)

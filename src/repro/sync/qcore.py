@@ -1,0 +1,140 @@
+"""Composable queue-lock core: Golab's splice / wait / signal blocks.
+
+Golab's *Deconstructing Queue-Based Mutual Exclusion* (HPL-2012-100)
+shows that the queue locks of the literature — MCS, CLH, Anderson,
+ticket, and their descendants — are compositions of three reusable
+building blocks:
+
+``splice``
+    Atomically join the wait queue and learn your position: either a
+    pointer splice (atomic ``Swap`` on a tail pointer, returning the
+    predecessor — MCS, CLH, reciprocating) or a counting splice
+    (``fetch&add`` on a counter, returning a ticket — Anderson, ticket).
+
+``wait``
+    Spin on one word until it reaches an accepting value.  *Where* that
+    word lives is the locks' key design split: your own node (MCS), the
+    predecessor's node (CLH), a ticket-indexed slot (Anderson), or a
+    global grant word (ticket) — and it decides the coherence traffic a
+    waiter generates, which is exactly the axis the paper's taxonomy
+    measures.
+
+``signal``
+    Publish a hand-off with a plain store: open the successor's flag,
+    bump the grant word, clear your own node.
+
+Every block is a generator over the simulated ISA (:mod:`repro.cpu.ops`)
+so compositions drive them with ``yield from``, and every lock in
+:mod:`repro.sync` is now a thin composition over this module — including
+the modern primitives (reciprocating, fissile) the original queue-lock
+authors never saw.  The compositions are *op-for-op identical* to the
+hand-rolled loops they replaced: the conformance and perf suites hold
+cycle counts bit-identical across the refactor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.cpu.ops import Compute, Read, Swap, Write
+from repro.sync.fetchop import compare_and_swap, fetch_and_add
+
+#: default cycles of local pause between failed wait tests (branch +
+#: loop cost) — shared by every composed lock, as before the refactor
+SPIN_PAUSE = 24
+
+#: an accepting predicate or the single accepted value
+Accept = Union[int, Callable[[int], bool]]
+
+
+# --------------------------------------------------------------------
+# splice: atomically join the queue
+# --------------------------------------------------------------------
+
+def splice_swap(tail_addr: int, node_addr: int, pc: int = 0):
+    """Pointer splice: swap ``node_addr`` into the tail, return the
+    predecessor (``0`` = the queue was empty and the splice acquired)."""
+    predecessor = yield Swap(tail_addr, node_addr, pc=pc)
+    return predecessor
+
+
+def splice_count(counter_addr: int, pc_label: str):
+    """Counting splice: take the next ticket with an atomic fetch&add."""
+    ticket = yield from fetch_and_add(counter_addr, 1, pc_label=pc_label)
+    return ticket
+
+
+def unsplice(tail_addr: int, expect: int, pc_label: str):
+    """Leave the queue if still its only member: one CAS attempt moving
+    the tail from ``expect`` back to empty; returns True on success."""
+    swapped = yield from compare_and_swap(
+        tail_addr, expect, 0, pc_label=pc_label
+    )
+    return swapped
+
+
+# --------------------------------------------------------------------
+# wait: spin on one word until it accepts
+# --------------------------------------------------------------------
+
+def _accepts(accept: Accept, value: int) -> bool:
+    if callable(accept):
+        return accept(value)
+    return value == accept
+
+
+def wait_until(
+    addr: int,
+    accept: Accept,
+    pc: int = 0,
+    pause: int = SPIN_PAUSE,
+    max_pause: Optional[int] = None,
+):
+    """Spin-read ``addr`` until ``accept`` holds; return the accepted
+    value.  ``accept`` is a value to match or a predicate.  With
+    ``max_pause`` the inter-test pause backs off exponentially
+    (proportional waits — barriers); otherwise it is constant."""
+    while True:
+        value = yield Read(addr, pc=pc)
+        if _accepts(accept, value):
+            return value
+        yield Compute(pause)
+        if max_pause is not None:
+            pause = min(pause * 2, max_pause)
+
+
+def nonzero(value: int) -> bool:
+    """The accepting predicate of set-flag and link-arrival waits."""
+    return value != 0
+
+
+def probe(addr: int, pc: int = 0):
+    """One read of a queue word — the non-spinning wait degenerate case
+    (e.g. MCS's successor peek before deciding how to release)."""
+    value = yield Read(addr, pc=pc)
+    return value
+
+
+def pause(cycles: int):
+    """Local pause between attempts (backoff between failed grabs)."""
+    yield Compute(cycles)
+
+
+def grab(addr: int, pc: int = 0):
+    """One test&set attempt: swap 1 into ``addr``; returns the old value
+    (``0`` = the grab won).  The degenerate no-queue splice — fissile
+    locks use it as the bounded-barging fast path in front of a real
+    splice-based queue."""
+    old = yield Swap(addr, 1, pc=pc)
+    return old
+
+
+# --------------------------------------------------------------------
+# signal: publish a hand-off with a plain store
+# --------------------------------------------------------------------
+
+def signal(addr: int, value: int, pc: int = 0):
+    """Store ``value`` to ``addr`` — open a flag, clear a node, grant a
+    ticket.  Plain store: only the holder signals, so no atomicity is
+    needed (the MCS/ticket release argument)."""
+    yield Write(addr, value, pc=pc)

@@ -1,8 +1,12 @@
 """Ticket lock (paper §2 related work: Mellor-Crummey & Scott).
 
-FIFO-fair: acquire takes a ticket with fetch&add on ``next_ticket`` and
-spins reading ``now_serving``; release increments ``now_serving`` with a
-plain store (only the holder writes it, so no atomicity is needed).
+FIFO-fair, and in the :mod:`repro.sync.qcore` decomposition the
+smallest possible queue lock: a counting splice (fetch&add on
+``next_ticket``), a wait on the single global grant word
+(``now_serving``), and a signal bumping that word.  The global wait
+word is what separates it from Anderson/MCS/CLH — every waiter spins on
+the *same* line, so each hand-off invalidates all spinners (the storm
+the paper's taxonomy charges to centralized spinning).
 
 The two words are placed by the caller; putting them in different cache
 lines avoids the ticket-grab invalidating every spinner.
@@ -10,11 +14,10 @@ lines avoids the ticket-grab invalidating every spinner.
 
 from __future__ import annotations
 
-from repro.cpu.ops import Compute, Read, Write
-from repro.sync.fetchop import fetch_and_add
+from repro.sync import qcore
 from repro.sync.primitives import Lock, synthetic_pc
 
-SPIN_PAUSE = 24
+SPIN_PAUSE = qcore.SPIN_PAUSE
 
 
 class TicketLock(Lock):
@@ -28,18 +31,17 @@ class TicketLock(Lock):
         self.serving_addr = serving_addr
         self.pc_read = synthetic_pc("ticket.spin")
         self.pc_release = synthetic_pc("ticket.release")
-        self._my_ticket = 0  # per-generator state lives in the frame below
 
     def acquire(self):
-        my_ticket = yield from fetch_and_add(
-            self.ticket_addr, 1, pc_label="ticket.grab"
+        my_ticket = yield from qcore.splice_count(
+            self.ticket_addr, "ticket.grab"
         )
-        while True:
-            serving = yield Read(self.serving_addr, pc=self.pc_read)
-            if serving == my_ticket:
-                return
-            yield Compute(SPIN_PAUSE)
+        yield from qcore.wait_until(
+            self.serving_addr, my_ticket, pc=self.pc_read
+        )
 
     def release(self):
-        serving = yield Read(self.serving_addr, pc=self.pc_release)
-        yield Write(self.serving_addr, serving + 1, pc=self.pc_release)
+        serving = yield from qcore.probe(self.serving_addr, pc=self.pc_release)
+        yield from qcore.signal(
+            self.serving_addr, serving + 1, pc=self.pc_release
+        )

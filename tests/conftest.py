@@ -2,14 +2,20 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 from hypothesis import HealthCheck, settings
 
 from repro import System, SystemConfig
 
-#: shared Hypothesis profile for the suite's property tests: few, slow
-#: examples (each drives a whole simulated system), no deadline.
-prop_settings = settings(
+# Shared Hypothesis profiles for the suite's property tests: few, slow
+# examples (each drives a whole simulated system), no deadline.  The
+# "ci" profile pins the example sequence (derandomize) and prints the
+# reproduction blob so a red CI run is replayable locally; select it
+# with HYPOTHESIS_PROFILE=ci.
+settings.register_profile(
+    "repro",
     max_examples=10,
     deadline=None,
     suppress_health_check=[
@@ -18,6 +24,18 @@ prop_settings = settings(
         # the interconnect fixture is a constant string per test id
         HealthCheck.function_scoped_fixture,
     ],
+)
+settings.register_profile(
+    "ci",
+    settings.get_profile("repro"),
+    derandomize=True,
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
+
+#: the active profile, applied as a decorator by the property tests
+prop_settings = settings.get_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "repro")
 )
 
 

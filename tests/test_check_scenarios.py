@@ -27,9 +27,16 @@ SMOKE = Budget(max_schedules=30, max_steps=80_000, max_depth=30)
 #: arrival at program start, before any barrier latency separates the
 #: early releaser from the laggard it failed to wait for.
 MUTATION_CASES = {
-    "barrier_skip_sense_flip": ("barrier", 2, "progress"),
-    "barrier_early_release": ("barrier", 2, "barrier-phase"),
-    "mcs_drop_handoff": ("mcs", 2, "progress"),
+    "barrier_skip_sense_flip": ("barrier", 2, {"progress"}),
+    "barrier_early_release": ("barrier", 2, {"barrier-phase"}),
+    "mcs_drop_handoff": ("mcs", 2, {"progress"}),
+    "recip_drop_terminal_signal": ("reciprocating", 2, {"progress"}),
+    # The skipped promotion surfaces as starvation when a waiter parks
+    # behind the stale head, or as the dangling outer tail caught by the
+    # final verify when every acquire won on the fast path.
+    "fissile_skip_anti_collapse": (
+        "fissile", 2, {"progress", "workload-verify"},
+    ),
 }
 
 
@@ -52,7 +59,9 @@ def _spec(scenario, interconnect, mutation=None, acquires=1):
 
 
 class TestScenariosClean:
-    @pytest.mark.parametrize("scenario", ["barrier", "mcs"])
+    @pytest.mark.parametrize(
+        "scenario", ["barrier", "mcs", "reciprocating", "fissile"]
+    )
     def test_violation_free_at_smoke_budget(self, scenario, interconnect):
         report = explore(_spec(scenario, interconnect), SMOKE)
         assert report.schedules_run > 1
@@ -65,17 +74,26 @@ class TestScenariosClean:
         extras = built.workload.extra_oracles(built.system)
         assert extras and extras[0] is built.monitor
 
+    @pytest.mark.parametrize("scenario", ["reciprocating", "fissile"])
+    def test_in_sim_monitor_attached(self, scenario):
+        # CsMonitor raises in-sim (it is not a stepped oracle), so it
+        # rides the BuiltScenario.monitor seat, not extra_oracles.
+        built = build_scenario(scenario, "iqolb", "bus", 2, 1, 400, 2_000_000)
+        assert built.monitor is built.workload.monitor
+        assert built.monitor is not None
+        assert built.workload.extra_oracles(built.system) == []
+
 
 class TestSeededMutations:
     @pytest.mark.parametrize("mutation", sorted(MUTATION_CASES))
     def test_mutation_caught_and_replays(self, mutation):
-        scenario, acquires, oracle = MUTATION_CASES[mutation]
+        scenario, acquires, oracles = MUTATION_CASES[mutation]
         spec = _spec(scenario, "bus", mutation=mutation, acquires=acquires)
         budget = Budget(max_schedules=20, max_steps=150_000, max_depth=30)
         report = explore(spec, budget)
         assert report.violations, f"{mutation} was not caught"
         record = report.violations[0]
-        assert record["violation"]["oracle"] == oracle, record
+        assert record["violation"]["oracle"] in oracles, record
 
         # Bit-identical replay: same schedule -> same oracle, message,
         # and violation time.
@@ -91,7 +109,9 @@ class TestSeededMutations:
 class TestRegistries:
     def test_scenario_names_cover_registry(self):
         assert scenario_names() == sorted(SCENARIOS)
-        assert {"lock", "counter", "barrier", "mcs"} <= set(scenario_names())
+        assert {
+            "lock", "counter", "barrier", "mcs", "reciprocating", "fissile",
+        } <= set(scenario_names())
 
     def test_mutation_names_cover_registry(self):
         assert mutation_names() == sorted(MUTATIONS)

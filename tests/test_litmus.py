@@ -12,9 +12,12 @@ deterministic, so the sweep stands in for repetition).
 import pytest
 
 from conftest import build_system, run_programs
+from repro.core.registry import policy_names
 from repro.cpu.ops import Compute, Read, Write
 
-POLICIES = ["baseline", "aggressive", "delayed", "iqolb", "qolb"]
+#: every registered protocol policy — a policy added to the registry is
+#: automatically litmus-tested, with no hand-maintained list to forget
+POLICIES = policy_names()
 STAGGERS = [0, 3, 17, 64, 151, 402]
 
 

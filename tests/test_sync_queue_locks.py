@@ -2,16 +2,19 @@
 
 Both come from the paper's related-work landscape (refs [3], [27]) and
 provide the software baseline that the paper's hardware queues improve
-on.  Mutual exclusion, FIFO order, and recycling are verified.
+on.  Mutual exclusion, FIFO order, and recycling are verified; the
+LockSet integration sweeps *every* registered lock kind so a newly
+registered primitive is covered the moment it lands in the registry.
 """
 
 import pytest
 
 from conftest import build_system, run_programs
+from repro.core.registry import PRIMITIVE_SPECS
 from repro.cpu.ops import Compute, Read, Write
 from repro.sync.anderson import AndersonLock
 from repro.sync.clh import ClhLock
-from repro.workloads.base import LockSet
+from repro.workloads.base import LOCK_ADAPTERS, LOCK_KINDS, LockSet
 
 
 class TestAndersonLock:
@@ -131,7 +134,18 @@ class TestClhLock:
 
 
 class TestViaLockSet:
-    @pytest.mark.parametrize("kind", ["anderson", "clh"])
+    def test_every_registered_lock_kind_has_an_adapter(self):
+        """Loud-failure coverage guard: registering a primitive whose
+        lock kind has no LockSet adapter must fail here, not silently
+        shrink the parameter grid below."""
+        missing = {
+            spec.lock_kind for spec in PRIMITIVE_SPECS.values()
+        } - set(LOCK_ADAPTERS)
+        assert not missing, (
+            f"primitives registered with no LockSet adapter: {missing}"
+        )
+
+    @pytest.mark.parametrize("kind", LOCK_KINDS)
     def test_lockset_integration(self, kind):
         system = build_system(3, "baseline")
         lockset = LockSet(kind, system, n_locks=2, n_threads=3)

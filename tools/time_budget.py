@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Wall-time budget gate for a test command.
+
+Runs the command after ``--``, measures its wall time, and fails if it
+exceeds the budget committed in a JSON file.  The tier-1 suite is the
+merge gate for every PR, so its wall time is a shared resource: a
+change that silently doubles it taxes every future push.  This tool
+makes that regression loud.
+
+Usage::
+
+    python tools/time_budget.py --budget results/TIER1_budget.json -- \
+        env PYTHONPATH=src python -m pytest -x -q
+
+The budget file commits the threshold next to the suite it governs::
+
+    {"budget_seconds": 300, "suite": "tier-1"}
+
+Exit status: the command's own status if it fails (a broken suite is a
+broken suite, not a slow one); 1 if the command passed but blew the
+budget; 0 otherwise.  ``--report`` optionally writes the measurement as
+JSON for artifact upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--budget",
+        required=True,
+        help="JSON file with a budget_seconds threshold",
+    )
+    parser.add_argument(
+        "--report",
+        help="optional path to write the measurement as JSON",
+    )
+    parser.add_argument(
+        "command",
+        nargs=argparse.REMAINDER,
+        help="command to run (prefix with --)",
+    )
+    args = parser.parse_args(argv)
+
+    command = args.command
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        parser.error("no command given after --")
+
+    with open(args.budget) as handle:
+        budget = json.load(handle)
+    budget_s = float(budget["budget_seconds"])
+
+    start = time.perf_counter()
+    status = subprocess.call(command)
+    elapsed = time.perf_counter() - start
+
+    within = elapsed <= budget_s
+    print(
+        f"wall time: {elapsed:.1f}s of {budget_s:.0f}s budget "
+        f"({budget.get('suite', 'suite')}) -> "
+        f"{'OK' if within else 'OVER BUDGET'}",
+        file=sys.stderr,
+    )
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(
+                {
+                    "suite": budget.get("suite"),
+                    "budget_seconds": budget_s,
+                    "elapsed_seconds": round(elapsed, 3),
+                    "within_budget": within,
+                    "command_status": status,
+                },
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+
+    if status != 0:
+        return status
+    return 0 if within else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
